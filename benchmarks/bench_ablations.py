@@ -1,0 +1,175 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Indexing style** (Fig. 11): thread coarsening with the
+   coalescing-friendly ``iv + k·new_ub`` decomposition vs naive
+   ``iv·f + k`` strided indexing that destroys coalescing.
+2. **Redundant load elimination**: the backend cleanup that converts
+   coarsened copies' overlapping loads into reuse — without it, block
+   coarsening loses its Table II traffic reduction.
+3. **Aggregate TDO**: tuning over all launch geometries vs only the first
+   (gaussian's shrinking grids mis-tune otherwise).
+"""
+
+import numpy as np
+
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.simulator import analyze_coalescing
+from repro.simulator.model import KernelModel
+from repro.targets import A100
+from repro.transforms import run_cleanup, unroll_and_interleave
+from repro.transforms.coarsen import block_parallels, thread_parallel
+from repro.transforms.pipeline import default_cleanup_pipeline
+from repro.transforms import (Canonicalize, CSE, DCE)
+from repro.ir import PassManager
+
+COALESCED = """
+__global__ void copy(float *a, float *b) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    b[i] = a[i] * 2.0f;
+}
+"""
+
+LUD_SOURCE = None  # filled from the benchsuite
+
+
+def _thread_loop(coarsen_style=None, factor=4):
+    unit = parse_translation_unit(COALESCED)
+    generator = ModuleGenerator(unit)
+    generator.get_launch_wrapper("copy", 1, (128,))
+    run_cleanup(generator.module)
+    wrapper = polygeist.find_gpu_wrappers(generator.module.op)[0]
+    main = block_parallels(wrapper)[0]
+    threads = thread_parallel(main)
+    if coarsen_style:
+        threads, _ = unroll_and_interleave(threads, 0, factor,
+                                           style=coarsen_style)
+        run_cleanup(generator.module)
+    return generator.module, main, threads
+
+
+def test_ablation_indexing_style(benchmark, report):
+    """Fig. 11: naive strided indexing destroys coalescing."""
+    report.name = "ablation_indexing"
+
+    def run():
+        results = {}
+        for label, style in (("baseline", None),
+                             ("coalescing-friendly", "thread"),
+                             ("naive strided", "thread_naive")):
+            module, main, threads = _thread_loop(style)
+            accesses = analyze_coalescing(threads, A100.warp_size)
+            model = KernelModel(main, A100)
+            timing = model.time_launch(1 << 14)
+            results[label] = {
+                "strides": sorted({a.stride_x for a in accesses},
+                                  key=lambda s: (s is None, s)),
+                "efficiency": min(a.efficiency for a in accesses),
+                "seconds": timing.time_seconds,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ABLATION: THREAD-COARSENING INDEXING STYLE (Fig. 11), "
+           "factor 4, A100 model")
+    report("")
+    report("%-22s %-14s %12s %14s" % ("style", "strides", "worst eff.",
+                                      "modeled time"))
+    report("-" * 66)
+    for label, row in results.items():
+        report("%-22s %-14s %11.0f%% %13.2e" %
+               (label, row["strides"], row["efficiency"] * 100,
+                row["seconds"]))
+    report("")
+    report("the paper's choice (iv + k*new_ub) keeps stride 1; naive "
+           "iv*f + k quadruples transactions")
+
+    assert results["coalescing-friendly"]["strides"] == [1]
+    assert results["naive strided"]["strides"] == [4]
+    assert results["naive strided"]["seconds"] > \
+        results["coalescing-friendly"]["seconds"]
+
+
+def test_ablation_redundant_load_elimination(benchmark, report):
+    """Block coarsening's L2-traffic win disappears without RLE."""
+    report.name = "ablation_rle"
+    from repro.benchsuite import get_benchmark
+    from repro.transforms import coarsen_wrapper
+
+    def build(with_rle):
+        bench = get_benchmark("lud")
+        unit = parse_translation_unit(bench.source)
+        generator = ModuleGenerator(unit)
+        generator.get_launch_wrapper("lud_internal", 2, (16, 16))
+        run_cleanup(generator.module)
+        wrapper = polygeist.find_gpu_wrappers(generator.module.op)[0]
+        coarsen_wrapper(wrapper, block_factors=(4, 1))
+        if with_rle:
+            run_cleanup(generator.module)
+        else:
+            PassManager([Canonicalize(), CSE(), DCE()],
+                        verify=False).run_until_fixpoint(generator.module)
+        main = block_parallels(wrapper, include_epilogues=False)[0]
+        return KernelModel(main, A100)
+
+    def run():
+        with_rle = build(True)
+        without_rle = build(False)
+        return {
+            "with RLE": with_rle.stats.loads_global,
+            "without RLE": without_rle.stats.loads_global,
+        }
+
+    loads = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ABLATION: REDUNDANT LOAD ELIMINATION on block-coarsened "
+           "lud_internal (x4 along x)")
+    report("")
+    for label, value in loads.items():
+        report("  global loads per thread %-14s %.1f" % (label, value))
+    report("")
+    report("RLE removes the copies' overlapping column loads — the "
+           "mechanism behind Table II's L2->L1 reduction")
+
+    assert loads["with RLE"] < loads["without RLE"]
+
+
+def test_ablation_aggregate_tdo(benchmark, report):
+    """Tuning on all launch geometries vs only the first (gaussian)."""
+    report.name = "ablation_tdo"
+    from repro.autotune import default_configs
+    from repro.benchsuite import get_benchmark
+    from repro.pipeline import Program
+
+    def run():
+        bench = get_benchmark("gaussian")
+        size = 512
+        launches = list(bench.iter_launches(size))
+
+        def total_with(tune_grids):
+            program = Program(bench.source, arch=A100, tier="polygeist",
+                              autotune_configs=default_configs(8))
+            grouped = {}
+            for kernel, grid, block in launches:
+                grouped.setdefault((kernel, tuple(block)),
+                                   []).append(grid)
+            for (kernel, block), grids in grouped.items():
+                program.tune_aggregate(kernel, block,
+                                       grids if tune_grids == "all"
+                                       else grids[:1])
+            return sum(program.model_launch(k, g, b).time_seconds
+                       for k, g, b in launches)
+
+        return {"first launch only": total_with("first"),
+                "all launches (paper's profiling mode)": total_with("all")}
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ABLATION: TDO TUNING SCOPE on gaussian (512, A100 model)")
+    report("")
+    for label, value in totals.items():
+        report("  %-40s %.3e s" % (label, value))
+    report("")
+    report("profiling over the whole run avoids over-coarsening for the "
+           "large early grids")
+
+    assert totals["all launches (paper's profiling mode)"] <= \
+        totals["first launch only"] * 1.0001

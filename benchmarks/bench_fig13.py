@@ -1,0 +1,70 @@
+"""Fig. 13 + §VII-B — combined block+thread coarsening vs either alone.
+
+Sweeps total block × thread factors for every kernel in the suite on the
+A100 model, reporting per-kernel best speedups per strategy and the
+headline geomeans (paper: combined 11.3%, block-only 8.9%, thread-only
+4.4%; combined must dominate).
+"""
+
+from conftest import tuning_configs
+
+from repro.benchsuite.experiments import fig13_data, fig13_summary
+from repro.targets import A100
+
+
+def test_fig13_combined_vs_single_strategy(benchmark, report):
+    report.name = "fig13"
+
+    def sweep():
+        # HeCBench extras widen the kernel population, as in the paper
+        return fig13_data(arch=A100, configs=tuning_configs(),
+                          include_hecbench=True)
+
+    sweeps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    summary = fig13_summary(sweeps)
+
+    report("FIG. 13 / SECTION VII-B: COARSENING STRATEGY COMPARISON "
+           "(A100 model)")
+    report("")
+    report("%-16s %-18s %9s %9s %9s" %
+           ("benchmark", "kernel", "thread", "block", "combined"))
+    report("-" * 66)
+    interesting = 0
+    for sweep_result in sweeps:
+        thread = sweep_result.speedup(thread_only=True)
+        block = sweep_result.speedup(block_only=True)
+        combined = sweep_result.speedup()
+        if combined > 1.01:
+            interesting += 1
+        report("%-16s %-18s %8.2fx %8.2fx %8.2fx" %
+               (sweep_result.benchmark, sweep_result.kernel, thread, block,
+                combined))
+    report("-" * 66)
+    report("kernels measured: %d (with >1%% speedup: %d; paper: 75 of 181)"
+           % (len(sweeps), interesting))
+    report("")
+    report("geomean speedups (paper: combined 11.3%, block 8.9%, "
+           "thread 4.4%):")
+    for strategy in ("thread_only", "block_only", "combined"):
+        report("  %-12s %+.1f%%" % (strategy,
+                                    (summary[strategy] - 1) * 100))
+    rodinia = [s for s in sweeps if not s.benchmark.startswith("hec-")]
+    rodinia_summary = fig13_summary(rodinia)
+    report("")
+    report("Rodinia-only geomeans (the population the paper reports):")
+    for strategy in ("thread_only", "block_only", "combined"):
+        report("  %-12s %+.1f%%" %
+               (strategy, (rodinia_summary[strategy] - 1) * 100))
+    report("")
+    report("shape check: combined >= each single strategy everywhere;")
+    report("block_only >= thread_only on the Rodinia population")
+
+    assert summary["combined"] >= summary["block_only"] - 1e-9
+    assert summary["combined"] >= summary["thread_only"] - 1e-9
+    assert summary["combined"] > 1.0
+    # the paper's block>thread ordering is a property of the Rodinia
+    # population; HeCBench extras like tiled gemm legitimately favor
+    # thread coarsening (register tiling)
+    assert rodinia_summary["block_only"] >= \
+        rodinia_summary["thread_only"] - 1e-6, \
+        "paper: block coarsening alone beats thread coarsening alone"

@@ -1,0 +1,60 @@
+"""Fig. 14 — lud main kernel performance across (block, thread) factors.
+
+Paper shapes to reproduce: block-only beats thread-only at equal factors;
+the peak needs both; thread factors breaking full warps (>= 16 for the
+256-thread block) collapse; block factors whose shared memory exceeds the
+limit are invalid.
+"""
+
+from conftest import FULL, sweep_totals
+
+from repro.benchsuite.experiments import fig14_heatmap
+from repro.targets import A100
+
+
+def test_fig14_lud_factor_landscape(benchmark, report):
+    report.name = "fig14"
+    totals = (1, 2, 4, 8, 16, 32)  # always full: the cliffs ARE the figure
+
+    def sweep():
+        return fig14_heatmap(arch=A100, totals=totals)
+
+    heatmap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report("FIG. 14: lud_internal SPEEDUP OVER (block, thread) TOTALS "
+           "(A100 model)")
+    report("")
+    report("         " + "".join("t=%-7d" % t for t in totals))
+    peak = (None, 0.0)
+    for b in totals:
+        cells = []
+        for t in totals:
+            value = heatmap.get((b, t))
+            if value is None:
+                cells.append("   --   ")
+            else:
+                cells.append("%6.2fx  " % value)
+                if value > peak[1]:
+                    peak = ((b, t), value)
+        report("b=%-6d %s" % (b, "".join(cells)))
+    report("")
+    report("peak: %.2fx at (block, thread) = %s "
+           "(paper: peak at (7, 2), combined factor 14)" %
+           (peak[1], peak[0]))
+
+    # -- the paper's documented shapes -------------------------------------
+    # 1. block-only beats thread-only at the same total factor
+    for factor in (2, 4, 8):
+        assert heatmap[(factor, 1)] > heatmap[(1, factor)] - 1e-9
+    # 2. the peak uses BOTH kinds of coarsening or at least beats both
+    #    single-strategy bests
+    best_block = max(heatmap[(b, 1)] for b in totals
+                     if heatmap.get((b, 1)))
+    best_thread = max(heatmap[(1, t)] for t in totals
+                      if heatmap.get((1, t)))
+    assert peak[1] >= best_block and peak[1] >= best_thread
+    # 3. sub-warp cliff: thread factor 32 on a 256-thread block leaves
+    #    8 threads — far below a warp
+    assert heatmap[(1, 32)] < heatmap[(1, 8)]
+    # 4. shared-memory limit: block factor 32 needs 64 KB > 48 KB
+    assert all(heatmap[(32, t)] is None for t in totals)

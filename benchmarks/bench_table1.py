@@ -1,0 +1,33 @@
+"""Table I — GPUs used for evaluation and their specifications.
+
+Regenerates the paper's hardware table from the architecture models the
+simulator actually uses.
+"""
+
+from repro.targets import ALL_ARCHS
+
+
+def test_table1_gpu_specifications(benchmark, report):
+    report.name = "table1"
+
+    def build():
+        return [arch.describe_row() for arch in ALL_ARCHS]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    keys = list(rows[0].keys())
+    report("TABLE I: GPUS USED FOR EVALUATION AND THEIR SPECIFICATIONS")
+    report("")
+    widths = {k: max(len(k), max(len(str(r[k])) for r in rows)) + 2
+              for k in keys}
+    header = "".join(("%-" + str(widths[k]) + "s") % k for k in keys)
+    report(header)
+    report("-" * len(header))
+    for row in rows:
+        report("".join(("%-" + str(widths[k]) + "s") % row[k]
+                       for k in keys))
+    report("")
+    report("(values as listed in Table I of the paper; these parameter")
+    report(" sets drive the occupancy calculator and the timing model)")
+
+    assert len(rows) == 4
+    assert rows[0]["GPU"] == "NVIDIA A4000"

@@ -1,0 +1,52 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.
+Results are printed and also written under ``benchmarks/results/`` so they
+survive pytest's output capturing.
+
+Set ``REPRO_FULL=1`` for the paper's full sweep sizes (slower); the default
+uses reduced factor grids that preserve every reported shape.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: full paper sweeps when set
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def sweep_totals():
+    return (1, 2, 4, 8, 16, 32) if FULL else (1, 2, 4, 8)
+
+
+def tuning_configs():
+    from repro.autotune import paper_sweep_configs
+    totals = sweep_totals()
+    return paper_sweep_configs(totals, totals)
+
+
+@pytest.fixture
+def report():
+    """Collects lines; prints them and writes them to results/<bench>.txt."""
+    class Report:
+        def __init__(self):
+            self.lines = []
+            self.name = "report"
+
+        def __call__(self, *parts):
+            line = " ".join(str(p) for p in parts)
+            self.lines.append(line)
+
+        def flush(self):
+            RESULTS_DIR.mkdir(exist_ok=True)
+            text = "\n".join(self.lines) + "\n"
+            (RESULTS_DIR / ("%s.txt" % self.name)).write_text(text)
+            print("\n" + text)
+
+    instance = Report()
+    yield instance
+    instance.flush()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Reproduce the lud case study (Fig. 14): sweep block × thread coarsening
+factors for the main lud kernel and print the speedup landscape.
+
+Run:  python examples/autotune_lud.py        (a few minutes)
+      python examples/autotune_lud.py quick  (coarser sweep, ~30 s)
+"""
+
+import sys
+
+from repro.benchsuite.experiments import fig14_heatmap
+from repro.targets import A100
+
+
+def main():
+    quick = len(sys.argv) > 1 and sys.argv[1] == "quick"
+    totals = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16, 32)
+    print("sweeping lud_internal on %s (totals %s)..." %
+          (A100.name, list(totals)))
+    heatmap = fig14_heatmap(arch=A100, totals=totals)
+
+    print("\nspeedup over the uncoarsened kernel "
+          "(rows: block total, cols: thread total):\n")
+    header = "        " + "".join("t=%-7d" % t for t in totals)
+    print(header)
+    best = (None, 0.0)
+    for block_total in totals:
+        cells = []
+        for thread_total in totals:
+            value = heatmap.get((block_total, thread_total))
+            if value is None:
+                cells.append("  --    ")  # invalid (e.g. shared overflow)
+            else:
+                cells.append("%6.2fx " % value)
+                if value > best[1]:
+                    best = ((block_total, thread_total), value)
+        print("b=%-4d  %s" % (block_total, "".join(cells)))
+
+    print("\npeak: %.2fx at (block, thread) = %s" % (best[1], best[0]))
+    print("\npaper shapes to compare against (§VII-B, Fig. 14):")
+    print(" * block-only beats thread-only at the same factor")
+    print(" * the peak needs BOTH kinds of coarsening")
+    print(" * thread factors that break full warps (>= 16 for a "
+          "256-thread block) fall off a cliff")
+    print(" * large block factors exceed the shared-memory limit (--)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Explore the unroll-and-interleave transformation on real IR.
+
+Prints the parallel representation of a small kernel before and after
+thread and block coarsening, showing barrier merging, shared-memory
+duplication, and the epilogue kernel — the machinery of §IV/§V of the
+paper.
+
+Run:  python examples/coarsening_explorer.py
+"""
+
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.ir import print_op
+from repro.transforms import (block_coarsen, check_unroll_legality,
+                              run_cleanup, thread_coarsen)
+from repro.transforms.coarsen import block_parallels, thread_parallel
+from repro.analysis import shared_bytes_per_block
+
+SOURCE = r"""
+__global__ void reverse(float *in, float *out) {
+    __shared__ float tile[8];
+    int t = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + t;
+    tile[t] = in[g];
+    __syncthreads();
+    out[g] = tile[7 - t];
+}
+"""
+
+
+def build():
+    unit = parse_translation_unit(SOURCE)
+    generator = ModuleGenerator(unit)
+    generator.get_launch_wrapper("reverse", 1, (8,))
+    run_cleanup(generator.module)
+    wrapper = polygeist.find_gpu_wrappers(generator.module.op)[0]
+    return generator.module, wrapper
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    module, wrapper = build()
+    banner("ORIGINAL parallel representation (Fig. 2 of the paper)")
+    print(print_op(wrapper))
+
+    main_loop = block_parallels(wrapper)[0]
+    print("\nlegality of unrolling the block loop:",
+          check_unroll_legality(main_loop) or "LEGAL")
+    print("shared memory per block: %d bytes" %
+          shared_bytes_per_block(main_loop))
+
+    # -- thread coarsening ---------------------------------------------------
+    module, wrapper = build()
+    thread_coarsen(wrapper, (2,))
+    run_cleanup(module)
+    banner("THREAD coarsening x2 — note: ONE barrier (merged, Fig. 10 "
+           "left),\ncoalescing-friendly indexing t and t+4 (Fig. 11)")
+    print(print_op(wrapper))
+
+    # -- block coarsening ----------------------------------------------------
+    module, wrapper = build()
+    block_coarsen(wrapper, (2,))
+    run_cleanup(module)
+    banner("BLOCK coarsening x2 — TWO shared allocations (duplicated, "
+           "§V-C),\nplus an EPILOGUE loop for grid remainders")
+    print(print_op(wrapper))
+    loops = block_parallels(wrapper)
+    print("\nblock loops after coarsening: %d (main + %d epilogue)" %
+          (len(loops), len(loops) - 1))
+    print("shared memory per fused block: %d bytes" %
+          shared_bytes_per_block(loops[0]))
+
+    # -- an illegal case -----------------------------------------------------
+    illegal = r"""
+    __global__ void divergent(float *out) {
+        __shared__ float s[8];
+        if (blockIdx.x > 0) {
+            s[threadIdx.x] = 1.0f;
+            __syncthreads();
+            out[blockIdx.x * 8 + threadIdx.x] = s[threadIdx.x];
+        }
+    }
+    """
+    unit = parse_translation_unit(illegal)
+    generator = ModuleGenerator(unit)
+    generator.get_launch_wrapper("divergent", 1, (8,))
+    wrapper = polygeist.find_gpu_wrappers(generator.module.op)[0]
+    loop = block_parallels(wrapper)[0]
+    banner("LEGALITY (Fig. 10 right): barrier under block-dependent "
+           "control flow")
+    print("block coarsening legality:", check_unroll_legality(loop))
+    print("thread coarsening legality:",
+          check_unroll_legality(block_parallels(wrapper)[0],
+                                trust_convergence=True) or
+          "LEGAL (convergence guarantees uniformity across threads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: reproduction of "Retargeting and Respecializing GPU Workloads for
+Performance Portability" (CGO 2024).
+
+A pure-Python re-implementation of the Polygeist-GPU pipeline: a CUDA-subset
+frontend, a mini-MLIR IR with the paper's parallel representation, the nested
+parallel unroll-and-interleave transformation with thread/block coarsening,
+alternatives-based multi-versioning with timing-driven optimization, and a
+GPU performance simulator standing in for the paper's NVIDIA/AMD hardware.
+
+Quickstart::
+
+    from repro import compile_cuda
+    from repro.targets import A100
+
+    program = compile_cuda(source, arch=A100)
+    program.launch("my_kernel", grid=(128,), block=(256,), args=[buf])
+"""
+
+__version__ = "1.0.0"
+
+
+def compile_cuda(source, arch=None, **kwargs):
+    """Compile CUDA source text into a runnable :class:`~repro.pipeline.Program`.
+
+    Thin convenience wrapper over :func:`repro.pipeline.compile_cuda`, imported
+    lazily to keep ``import repro`` cheap.
+    """
+    from .pipeline import compile_cuda as _compile
+    return _compile(source, arch=arch, **kwargs)

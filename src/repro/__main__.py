@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the Polygeist-GPU driver workflow:
+
+* ``emit-ir``   — compile a .cu file and print the parallel IR for a kernel
+  (optionally after coarsening), the Fig. 2/5 representation;
+* ``tune``      — sweep coarsening factors for a kernel and print the
+  TDO candidate table;
+* ``hipify``    — run the source-to-source CUDA→HIP translation and report
+  the manual fixes a human would still need (§VII-D1);
+* ``targets``   — list the available GPU architecture models (Table I).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _load_source(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_dims(text: str):
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def cmd_emit_ir(args) -> int:
+    from .dialects import polygeist
+    from .frontend import ModuleGenerator, parse_translation_unit
+    from .ir import print_op
+    from .transforms import coarsen_wrapper, run_cleanup
+
+    unit = parse_translation_unit(_load_source(args.file))
+    generator = ModuleGenerator(unit)
+    kernels = [f.name for f in unit.kernels()]
+    if not kernels:
+        print("no __global__ kernels found", file=sys.stderr)
+        return 1
+    kernel = args.kernel or kernels[0]
+    block = _parse_dims(args.block)
+    name = generator.get_launch_wrapper(kernel, args.grid_rank, block)
+    run_cleanup(generator.module)
+    wrapper = polygeist.find_gpu_wrappers(generator.module.func(name))[0]
+    if args.block_factor > 1 or args.thread_factor > 1:
+        result = coarsen_wrapper(
+            wrapper,
+            block_total=args.block_factor if args.block_factor > 1
+            else None,
+            thread_total=args.thread_factor if args.thread_factor > 1
+            else None)
+        run_cleanup(generator.module)
+        print("// coarsened: %s" % result.describe())
+    print(print_op(generator.module.func(name)))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .autotune import paper_sweep_configs
+    from .benchsuite.experiments import sweep_kernel_configs
+    from .targets import arch_by_name
+
+    arch = arch_by_name(args.arch)
+    block = _parse_dims(args.block)
+    grid = _parse_dims(args.grid)
+    sweep = sweep_kernel_configs(
+        _load_source(args.file), args.kernel, block, [grid], arch,
+        paper_sweep_configs(max_product=args.max_factor))
+    baseline = sweep.baseline()
+    if baseline is None:
+        print("baseline configuration failed to model", file=sys.stderr)
+        return 1
+    print("%-26s %14s %10s" % ("configuration", "modeled time", "speedup"))
+    print("-" * 54)
+    for result in sorted(sweep.results, key=lambda r: r.seconds):
+        if result.valid:
+            print("%-26s %13.3es %9.2fx" %
+                  (result.desc, result.seconds,
+                   baseline.seconds / result.seconds))
+        else:
+            print("%-26s %14s  (%s)" % (result.desc, "invalid",
+                                        result.reason))
+    best = sweep.best()
+    print("-" * 54)
+    print("best: %s (%.2fx) on %s" %
+          (best.desc, baseline.seconds / best.seconds, arch.name))
+    return 0
+
+
+def cmd_hipify(args) -> int:
+    from .translate import hipify
+
+    result = hipify(_load_source(args.file))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.source)
+    else:
+        print(result.source)
+    for change in result.changes:
+        print("// auto: %s" % change, file=sys.stderr)
+    for fix in result.manual_fixes:
+        print("// MANUAL FIX NEEDED: %s" % fix, file=sys.stderr)
+    return 0 if result.clean else 2
+
+
+def cmd_targets(args) -> int:
+    from .targets import ALL_ARCHS
+
+    for arch in ALL_ARCHS:
+        row = arch.describe_row()
+        print("%-14s %-8s SMs=%-4d warp=%-3d %s f32, %s f64, %s" %
+              (row["GPU"], row["Compute Capability"], row["SMs"],
+               arch.warp_size, row["FLOPs (f32)"], row["FLOPs (f64)"],
+               row["Memory Bandwidth"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    emit = sub.add_parser("emit-ir", help="print the parallel IR")
+    emit.add_argument("file")
+    emit.add_argument("--kernel", help="kernel name (default: first)")
+    emit.add_argument("--block", default="256",
+                      help="block dims, comma separated (default 256)")
+    emit.add_argument("--grid-rank", type=int, default=1)
+    emit.add_argument("--block-factor", type=int, default=1,
+                      help="apply block coarsening by this total factor")
+    emit.add_argument("--thread-factor", type=int, default=1,
+                      help="apply thread coarsening by this total factor")
+    emit.set_defaults(fn=cmd_emit_ir)
+
+    tune = sub.add_parser("tune", help="sweep coarsening factors")
+    tune.add_argument("file")
+    tune.add_argument("kernel")
+    tune.add_argument("--arch", default="a100")
+    tune.add_argument("--grid", default="1024")
+    tune.add_argument("--block", default="256")
+    tune.add_argument("--max-factor", type=int, default=32)
+    tune.set_defaults(fn=cmd_tune)
+
+    hip = sub.add_parser("hipify", help="CUDA -> HIP source translation")
+    hip.add_argument("file")
+    hip.add_argument("-o", "--output")
+    hip.set_defaults(fn=cmd_hipify)
+
+    targets = sub.add_parser("targets", help="list GPU models")
+    targets.set_defaults(fn=cmd_targets)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

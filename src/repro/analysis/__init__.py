@@ -1,0 +1,18 @@
+"""Static analyses over the parallel IR.
+
+These feed both the legality checks of the coarsening transformations
+(uniformity w.r.t. parallel induction variables) and the performance model
+(affine access strides for coalescing, closed-form operation statistics,
+shared-memory accounting).
+"""
+
+from .affine import AffineForm, affine_of, stride_in
+from .shared_memory import shared_bytes_per_block
+from .stats import KernelStats, kernel_statistics
+from .uniformity import contains_barrier, depends_on_values, is_uniform_in
+
+__all__ = [
+    "AffineForm", "KernelStats", "affine_of", "contains_barrier",
+    "depends_on_values", "is_uniform_in", "kernel_statistics",
+    "shared_bytes_per_block", "stride_in",
+]

@@ -1,0 +1,120 @@
+"""Affine decomposition of index expressions.
+
+Expresses an index value as ``const + Σ coeff_i · sym_i`` where symbols are
+SSA values the decomposition cannot see through (parallel ivs, loop ivs,
+loaded values, function arguments). The memory model uses this to compute
+the stride of a global access with respect to ``threadIdx.x`` — the quantity
+that decides whether a warp's loads coalesce (§II-A2, Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir import OpResult, Value
+from ..dialects import arith
+
+
+@dataclass
+class AffineForm:
+    """``const + Σ terms[v] * v`` over symbol values ``v``."""
+
+    const: int = 0
+    terms: Dict[Value, int] = field(default_factory=dict)
+
+    def add(self, other: "AffineForm", scale: int = 1) -> "AffineForm":
+        result = AffineForm(self.const + scale * other.const,
+                            dict(self.terms))
+        for sym, coeff in other.terms.items():
+            result.terms[sym] = result.terms.get(sym, 0) + scale * coeff
+            if result.terms[sym] == 0:
+                del result.terms[sym]
+        return result
+
+    def scaled(self, factor: int) -> "AffineForm":
+        if factor == 0:
+            return AffineForm(0)
+        return AffineForm(self.const * factor,
+                          {s: c * factor for s, c in self.terms.items()})
+
+    def coefficient(self, value: Value) -> int:
+        return self.terms.get(value, 0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def __str__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for sym, coeff in self.terms.items():
+            name = sym.name_hint or "v"
+            parts.append("%d*%s" % (coeff, name))
+        return " + ".join(parts) if parts else "0"
+
+
+_MAX_DEPTH = 64
+
+
+def affine_of(value: Value, depth: int = 0) -> AffineForm:
+    """Affine decomposition of ``value``; always succeeds (opaque values
+    become symbols with coefficient 1)."""
+    if depth > _MAX_DEPTH:
+        return AffineForm(0, {value: 1})
+    if isinstance(value, OpResult):
+        op = value.owner
+        name = op.name
+        if name == arith.CONSTANT:
+            raw = op.attr("value")
+            if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                return AffineForm(0, {value: 1})
+            return AffineForm(int(raw))
+        if name == "arith.addi":
+            return affine_of(op.operand(0), depth + 1).add(
+                affine_of(op.operand(1), depth + 1))
+        if name == "arith.subi":
+            return affine_of(op.operand(0), depth + 1).add(
+                affine_of(op.operand(1), depth + 1), scale=-1)
+        if name == "arith.muli":
+            lhs = affine_of(op.operand(0), depth + 1)
+            rhs = affine_of(op.operand(1), depth + 1)
+            if lhs.is_constant:
+                return rhs.scaled(lhs.const)
+            if rhs.is_constant:
+                return lhs.scaled(rhs.const)
+            return AffineForm(0, {value: 1})
+        if name == "arith.shli":
+            lhs = affine_of(op.operand(0), depth + 1)
+            rhs = affine_of(op.operand(1), depth + 1)
+            if rhs.is_constant:
+                return lhs.scaled(1 << rhs.const)
+            return AffineForm(0, {value: 1})
+        if name in ("arith.index_cast", "arith.extsi", "arith.extui"):
+            return affine_of(op.operand(0), depth + 1)
+        if name == "arith.divsi":
+            lhs = affine_of(op.operand(0), depth + 1)
+            rhs = affine_of(op.operand(1), depth + 1)
+            if lhs.is_constant and rhs.is_constant and rhs.const != 0:
+                q = abs(lhs.const) // abs(rhs.const)
+                sign = 1 if (lhs.const >= 0) == (rhs.const >= 0) else -1
+                return AffineForm(sign * q)
+            return AffineForm(0, {value: 1})
+    return AffineForm(0, {value: 1})
+
+
+def stride_in(index: Value, variable: Value) -> Optional[int]:
+    """Stride of ``index`` w.r.t. ``variable``, or None if unknown.
+
+    The stride is known when ``variable`` appears as a plain affine term and
+    none of the other symbols transitively depend on ``variable``.
+    """
+    from .uniformity import depends_on_values
+
+    form = affine_of(index)
+    coeff = form.coefficient(variable)
+    for sym in form.terms:
+        if sym is variable:
+            continue
+        if depends_on_values(sym, {variable}):
+            return None
+    return coeff

@@ -1,0 +1,33 @@
+"""Shared-memory accounting for kernels in the parallel representation.
+
+The alternatives pipeline (§VI) prunes coarsening configurations whose static
+shared-memory requirement exceeds the target's per-block limit, *before* any
+further compilation work — the paper's "early pruning" stage.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import MemRefType, Operation
+
+
+def shared_allocas(block_parallel: Operation) -> List[Operation]:
+    """All shared-space allocas inside a GPU block's body."""
+    found: List[Operation] = []
+
+    def check(op: Operation) -> None:
+        if op.name == "memref.alloca":
+            type_ = op.result().type
+            if isinstance(type_, MemRefType) and \
+                    type_.memory_space == "shared":
+                found.append(op)
+
+    block_parallel.walk_preorder(check, include_self=False)
+    return found
+
+
+def shared_bytes_per_block(block_parallel: Operation) -> int:
+    """Total static shared memory allocated per GPU block, in bytes."""
+    return sum(op.result().type.size_bytes()
+               for op in shared_allocas(block_parallel))

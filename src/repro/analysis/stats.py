@@ -1,0 +1,177 @@
+"""Closed-form kernel statistics (§VI "Kernel Statistics").
+
+Counts operations executed by one thread of a kernel, multiplying nested
+loop bodies by their trip counts — exactly when bounds are compile-time
+constants, and with a configurable symbolic estimate otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..dialects import arith
+from ..ir import FloatType, MemRefType, Operation
+
+#: assumed trip count for loops whose bounds are not compile-time constants
+DEFAULT_SYMBOLIC_TRIPS = 16.0
+
+
+@dataclass
+class KernelStats:
+    """Per-thread operation counts."""
+
+    flops_f32: float = 0.0
+    flops_f64: float = 0.0
+    int_ops: float = 0.0
+    special_ops: float = 0.0       # transcendental math
+    loads_global: float = 0.0
+    stores_global: float = 0.0
+    loads_shared: float = 0.0
+    stores_shared: float = 0.0
+    loads_local: float = 0.0
+    stores_local: float = 0.0
+    atomics: float = 0.0
+    barriers: float = 0.0
+    branches: float = 0.0
+    #: True when some trip count was estimated rather than exact
+    symbolic: bool = False
+
+    @property
+    def flops(self) -> float:
+        return self.flops_f32 + self.flops_f64
+
+    @property
+    def global_accesses(self) -> float:
+        return self.loads_global + self.stores_global
+
+    @property
+    def shared_accesses(self) -> float:
+        return self.loads_shared + self.stores_shared
+
+    def scaled(self, factor: float) -> "KernelStats":
+        scaled = KernelStats()
+        for name in _NUMERIC_FIELDS:
+            setattr(scaled, name, getattr(self, name) * factor)
+        scaled.symbolic = self.symbolic
+        return scaled
+
+    def merge(self, other: "KernelStats") -> None:
+        for name in _NUMERIC_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.symbolic = self.symbolic or other.symbolic
+
+
+_NUMERIC_FIELDS = [
+    "flops_f32", "flops_f64", "int_ops", "special_ops", "loads_global",
+    "stores_global", "loads_shared", "stores_shared", "loads_local",
+    "stores_local", "atomics", "barriers", "branches",
+]
+
+_FLOAT_ARITH = {"arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+                "arith.remf", "arith.minf", "arith.maxf", "arith.negf",
+                "arith.cmpf", "arith.select"}
+
+
+def _trip_count(op: Operation) -> Optional[float]:
+    """Static trip count of an scf.for, or None."""
+    lb = arith.constant_value(op.operand(0))
+    ub = arith.constant_value(op.operand(1))
+    step = arith.constant_value(op.operand(2))
+    if lb is None or ub is None or step is None or step <= 0:
+        return None
+    return max(0.0, float((ub - lb + step - 1) // step))
+
+
+def _classify_access(stats: KernelStats, op: Operation, factor: float,
+                     is_load: bool) -> None:
+    from ..dialects import memref as memref_d
+    ref = memref_d.load_op_ref(op)
+    space = ref.type.memory_space if isinstance(ref.type, MemRefType) \
+        else "global"
+    attr = {"global": ("loads_global", "stores_global"),
+            "shared": ("loads_shared", "stores_shared"),
+            "local": ("loads_local", "stores_local"),
+            "constant": ("loads_global", "stores_global")}[space]
+    name = attr[0] if is_load else attr[1]
+    setattr(stats, name, getattr(stats, name) + factor)
+
+
+def _count_block(stats: KernelStats, block, factor: float,
+                 symbolic_trips: float) -> None:
+    for op in block.ops:
+        name = op.name
+        if name == "scf.for":
+            trips = _trip_count(op)
+            if trips is None:
+                trips = symbolic_trips
+                stats.symbolic = True
+            stats.int_ops += factor * trips  # induction increment
+            _count_block(stats, op.body_block(), factor * trips,
+                         symbolic_trips)
+        elif name == "scf.while":
+            stats.symbolic = True
+            stats.branches += factor * symbolic_trips
+            _count_block(stats, op.body_block(0), factor * symbolic_trips,
+                         symbolic_trips)
+            _count_block(stats, op.body_block(1), factor * symbolic_trips,
+                         symbolic_trips)
+        elif name == "scf.if":
+            stats.branches += factor
+            # both sides counted at half weight (unknown probability)
+            _count_block(stats, op.body_block(0), factor * 0.5,
+                         symbolic_trips)
+            _count_block(stats, op.body_block(1), factor * 0.5,
+                         symbolic_trips)
+        elif name == "scf.parallel":
+            # nested (non-GPU) parallel treated as a loop
+            trips = 1.0
+            n = op.attr("num_dims")
+            for d in range(n):
+                ub = arith.constant_value(op.operands[n + d])
+                lb = arith.constant_value(op.operands[d])
+                if ub is None or lb is None:
+                    stats.symbolic = True
+                    trips *= symbolic_trips
+                else:
+                    trips *= max(0, ub - lb)
+            _count_block(stats, op.body_block(), factor * trips,
+                         symbolic_trips)
+        elif name == "memref.load":
+            _classify_access(stats, op, factor, is_load=True)
+        elif name == "memref.store":
+            _classify_access(stats, op, factor, is_load=False)
+        elif name == "memref.atomic_rmw":
+            stats.atomics += factor
+        elif name == "polygeist.barrier":
+            stats.barriers += factor
+        elif name in _FLOAT_ARITH:
+            result_type = op.results[0].type if op.results else None
+            operand_type = op.operand(0).type if op.num_operands else None
+            width_source = result_type or operand_type
+            if isinstance(width_source, FloatType) and \
+                    width_source.width == 64:
+                stats.flops_f64 += factor
+            elif isinstance(width_source, FloatType):
+                stats.flops_f32 += factor
+            else:
+                stats.int_ops += factor
+        elif name.startswith("math."):
+            stats.special_ops += factor
+        elif name.startswith("arith.") and name != "arith.constant":
+            stats.int_ops += factor
+        elif name == "polygeist.alternatives":
+            _count_block(stats, op.body_block(0), factor, symbolic_trips)
+        elif op.regions:
+            for region in op.regions:
+                for nested in region.blocks:
+                    _count_block(stats, nested, factor, symbolic_trips)
+
+
+def kernel_statistics(thread_parallel: Operation,
+                      symbolic_trips: float = DEFAULT_SYMBOLIC_TRIPS
+                      ) -> KernelStats:
+    """Per-thread statistics for the body of a GPU thread loop."""
+    stats = KernelStats()
+    _count_block(stats, thread_parallel.body_block(), 1.0, symbolic_trips)
+    return stats

@@ -1,0 +1,133 @@
+"""Uniformity analysis: does a value depend on given parallel ivs?
+
+Block coarsening (§V-B of the paper) is legal only when thread barriers are
+not nested in control flow that transitively depends on the block identifier.
+This module provides the transitive dependence check. Memory loads are
+treated conservatively: a loaded value *may* depend on anything, so it is
+non-uniform unless the analysis is told otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..ir import BlockArgument, Operation, OpResult, Value
+
+
+def contains_barrier(op: Operation) -> bool:
+    """True if a ``polygeist.barrier`` is nested anywhere inside ``op``."""
+    found = []
+
+    def check(candidate: Operation) -> None:
+        if candidate.name == "polygeist.barrier":
+            found.append(candidate)
+
+    op.walk_preorder(check)
+    return bool(found)
+
+
+def depends_on_values(value: Value, sources: Set[Value],
+                      loads_are_dependent: bool = True,
+                      _cache: Optional[Dict[Value, bool]] = None) -> bool:
+    """True if ``value`` (transitively) depends on any value in ``sources``.
+
+    Dependence flows through operand edges of defining operations. Region
+    block arguments other than the sources themselves are treated as
+    dependent on the operands of their defining op (e.g. an ``scf.for`` iv
+    depends on the loop bounds; iteration args depend on their inits and on
+    everything yielded inside the loop — approximated by "the whole loop").
+    """
+    if _cache is None:
+        _cache = {}
+    if value in _cache:
+        return _cache[value]
+    if value in sources:
+        _cache[value] = True
+        return True
+    _cache[value] = False  # guard against cycles (while loops)
+    result = False
+    if isinstance(value, OpResult):
+        op = value.owner
+        if op.name == "memref.load" or op.name == "memref.atomic_rmw":
+            if loads_are_dependent:
+                result = True
+            else:
+                result = any(depends_on_values(v, sources,
+                                               loads_are_dependent, _cache)
+                             for v in op.operands)
+        elif op.regions:
+            # results of region ops (scf.if/for/while): depend on anything
+            # used inside, conservatively: operands plus all nested operands
+            result = _region_op_depends(op, sources, loads_are_dependent,
+                                        _cache)
+        else:
+            result = any(depends_on_values(v, sources, loads_are_dependent,
+                                           _cache) for v in op.operands)
+    elif isinstance(value, BlockArgument):
+        owner_op = value.owner.parent_op if value.owner.parent else None
+        if owner_op is None or owner_op.name in ("func.func", "gpu.func"):
+            result = False  # function argument: uniform
+        elif owner_op.name == "scf.parallel" or \
+                (owner_op.name == "scf.for" and value.index == 0):
+            # induction variables depend only on the loop bounds
+            result = any(depends_on_values(v, sources, loads_are_dependent,
+                                           _cache)
+                         for v in owner_op.operands)
+        else:
+            # iteration args / while args: approximated by the whole loop
+            result = _region_op_depends(owner_op, sources,
+                                        loads_are_dependent, _cache)
+    _cache[value] = result
+    return result
+
+
+def _region_op_depends(op: Operation, sources: Set[Value],
+                       loads_are_dependent: bool,
+                       cache: Dict[Value, bool]) -> bool:
+    if any(depends_on_values(v, sources, loads_are_dependent, cache)
+           for v in op.operands):
+        return True
+    if loads_are_dependent:
+        # any load nested inside makes the region's values unknown
+        loads = []
+        op.walk_preorder(lambda child: loads.append(child)
+                         if child.name in ("memref.load",
+                                           "memref.atomic_rmw") else None,
+                         include_self=False)
+        if loads:
+            return True
+    # values from outside used inside
+    outside_uses = _external_operands(op)
+    return any(depends_on_values(v, sources, loads_are_dependent, cache)
+               for v in outside_uses)
+
+
+def _external_operands(op: Operation) -> Set[Value]:
+    """Values defined outside ``op`` but used somewhere inside it."""
+    internal: Set[Value] = set()
+    external: Set[Value] = set()
+
+    def collect(child: Operation) -> None:
+        for result in child.results:
+            internal.add(result)
+        for region in child.regions:
+            for block in region.blocks:
+                internal.update(block.args)
+
+    op.walk_preorder(collect)
+
+    def scan(child: Operation) -> None:
+        for operand in child.operands:
+            if operand not in internal:
+                external.add(operand)
+
+    op.walk_preorder(scan, include_self=False)
+    for operand in op.operands:
+        external.add(operand)
+    return external
+
+
+def is_uniform_in(value: Value, ivs: Iterable[Value],
+                  loads_are_dependent: bool = True) -> bool:
+    """True if ``value`` is provably identical across iterations over ``ivs``."""
+    return not depends_on_values(value, set(ivs), loads_are_dependent)

@@ -1,0 +1,103 @@
+"""Alternative pruning filters (§VI).
+
+Mirrors the paper's progressive filtering of alternative code paths:
+
+1. **Early pruning for shared memory usage** — static shared allocation per
+   block is known right after coarsening; alternatives exceeding the
+   target's per-block shared memory are discarded immediately.
+2. **Register/spill pruning** — after "backend compilation" (our register
+   estimator), alternatives that start spilling are discarded, since GPU
+   spills go to local memory orders of magnitude slower than registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis import shared_bytes_per_block
+from ..dialects import polygeist
+from ..ir import Operation
+from ..targets import GPUArchitecture, estimate_registers
+from ..transforms.alternatives import prune_alternatives
+from ..transforms.coarsen import block_parallels_in_region, thread_parallel
+
+
+@dataclass
+class FilterReport:
+    """What the pruning stages did."""
+
+    survivors: List[int] = field(default_factory=list)
+    dropped_shared: List[str] = field(default_factory=list)
+    dropped_spills: List[str] = field(default_factory=list)
+
+
+def _region_block_loops(alt: Operation, index: int):
+    return block_parallels_in_region(alt.region(index))
+
+
+def _region_shared_bytes(alt: Operation, index: int) -> int:
+    loops = _region_block_loops(alt, index)
+    return max((shared_bytes_per_block(loop) for loop in loops), default=0)
+
+
+def _region_max_registers(alt: Operation, index: int,
+                          arch: GPUArchitecture) -> int:
+    spilled = 0
+    for loop in _region_block_loops(alt, index):
+        estimate = estimate_registers(thread_parallel(loop), arch)
+        spilled = max(spilled, estimate.spilled_registers)
+    return spilled
+
+
+def prune_by_shared_memory(alt: Operation,
+                           arch: GPUArchitecture) -> FilterReport:
+    """Stage 1: drop alternatives whose static shared memory cannot fit."""
+    report = FilterReport()
+    descs = polygeist.alternative_descs(alt)
+    for index in range(len(alt.regions)):
+        usage = _region_shared_bytes(alt, index)
+        if usage > arch.shared_mem_per_block:
+            report.dropped_shared.append(
+                "%s (%d B > %d B)" % (descs[index], usage,
+                                      arch.shared_mem_per_block))
+        else:
+            report.survivors.append(index)
+    if report.survivors and len(report.survivors) < len(alt.regions):
+        prune_alternatives(alt, report.survivors)
+    return report
+
+
+def prune_by_registers(alt: Operation,
+                       arch: GPUArchitecture) -> FilterReport:
+    """Stage 3: drop alternatives whose backend compilation spills."""
+    report = FilterReport()
+    descs = polygeist.alternative_descs(alt)
+    spills = []
+    for index in range(len(alt.regions)):
+        spilled = _region_max_registers(alt, index, arch)
+        spills.append(spilled)
+        if spilled == 0:
+            report.survivors.append(index)
+        else:
+            report.dropped_spills.append(
+                "%s (%d spilled registers)" % (descs[index], spilled))
+    if not report.survivors:
+        # everything spills: keep the least-bad one
+        best = min(range(len(spills)), key=lambda i: spills[i])
+        report.survivors = [best]
+        report.dropped_spills = [d for i, d in enumerate(
+            report.dropped_spills) if i != best]
+    if len(report.survivors) < len(alt.regions):
+        prune_alternatives(alt, report.survivors)
+    return report
+
+
+def run_filters(alt: Operation, arch: GPUArchitecture) -> FilterReport:
+    """Run all static pruning stages; returns a merged report."""
+    shared_report = prune_by_shared_memory(alt, arch)
+    register_report = prune_by_registers(alt, arch)
+    merged = FilterReport(survivors=register_report.survivors)
+    merged.dropped_shared = shared_report.dropped_shared
+    merged.dropped_spills = register_report.dropped_spills
+    return merged

@@ -1,0 +1,60 @@
+"""Coarsening configuration sweeps.
+
+The paper's main experiment (§VII-B) independently sweeps *total* factors of
+1, 2, 4, 8, 16 and 32 for thread and block coarsening; Fig. 15 additionally
+sweeps per-dimension factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: the paper's total-factor grid (§VII-B)
+PAPER_TOTALS = (1, 2, 4, 8, 16, 32)
+
+
+def paper_sweep_configs(block_totals: Sequence[int] = PAPER_TOTALS,
+                        thread_totals: Sequence[int] = PAPER_TOTALS,
+                        max_product: Optional[int] = 32
+                        ) -> List[Dict[str, object]]:
+    """The cross product of total block × thread factors.
+
+    ``max_product`` bounds the combined factor (the paper's own combined
+    factors top out around 32, e.g. lud's peak at 14); unbounded products
+    like 32 x 32 = 1024 copies only bloat compile time.
+    """
+    configs: List[Dict[str, object]] = []
+    for block_total in block_totals:
+        for thread_total in thread_totals:
+            if max_product is not None and \
+                    block_total * thread_total > max_product:
+                continue
+            configs.append({"block_total": block_total,
+                            "thread_total": thread_total})
+    return configs
+
+
+def default_configs(max_total: int = 8) -> List[Dict[str, object]]:
+    """A cheaper default sweep used by the end-to-end pipeline."""
+    totals = [t for t in PAPER_TOTALS if t <= max_total]
+    return paper_sweep_configs(totals, totals)
+
+
+def per_dimension_configs(block_x: Iterable[int] = (1,),
+                          block_y: Iterable[int] = (1,),
+                          thread_x: Iterable[int] = (1,),
+                          thread_y: Iterable[int] = (1,)
+                          ) -> List[Dict[str, object]]:
+    """Explicit per-dimension factor sweep (Fig. 15 style)."""
+    configs: List[Dict[str, object]] = []
+    for bx in block_x:
+        for by in block_y:
+            for tx in thread_x:
+                for ty in thread_y:
+                    config: Dict[str, object] = {}
+                    if (bx, by) != (1, 1):
+                        config["block_factors"] = (bx, by)
+                    if (tx, ty) != (1, 1):
+                        config["thread_factors"] = (tx, ty)
+                    configs.append(config)
+    return configs

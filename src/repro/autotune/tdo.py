@@ -1,0 +1,126 @@
+"""Timing-driven optimization (§VI "Timing-Driven Optimization or
+Auto-Tuning").
+
+In the paper, surviving alternatives ship in the binary with dispatch logic;
+a profiling mode times each one on real data and a final compilation removes
+all but the winner. Here the "timing runs" are simulator evaluations: each
+surviving alternative is modeled (or functionally trace-timed) for the
+actual launch geometry, and the fastest is selected into place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects import polygeist
+from ..ir import Module, Operation, Value
+from ..simulator.model import InvalidLaunch, LaunchTiming, block_count
+from ..targets import GPUArchitecture
+from ..transforms.alternatives import select_alternative
+from ..transforms.coarsen import block_parallels_in_region
+from .filters import FilterReport, run_filters
+
+
+def _cleanup_alternatives(wrapper: Operation) -> None:
+    """Clean the coarsened clones (CSE / redundant-load elimination) so the
+    backend stages see what a real compiler would emit."""
+    from ..ir import Module
+    root = wrapper
+    while root.parent_op is not None:
+        root = root.parent_op
+    if root.name == "builtin.module":
+        from ..transforms import run_cleanup
+        run_cleanup(Module(root))
+
+
+@dataclass
+class Candidate:
+    index: int
+    desc: str
+    time_seconds: float
+    valid: bool
+    reason: str = ""
+
+
+@dataclass
+class TuneOutcome:
+    """Everything TDO decided for one kernel wrapper."""
+
+    selected_desc: str
+    selected_time: float
+    candidates: List[Candidate] = field(default_factory=list)
+    filters: Optional[FilterReport] = None
+
+    def speedup_over(self, baseline_desc: str) -> float:
+        for candidate in self.candidates:
+            if candidate.desc == baseline_desc and candidate.valid:
+                return candidate.time_seconds / self.selected_time
+        return 1.0
+
+
+def _time_region(alt: Operation, index: int, arch: GPUArchitecture,
+                 env: Dict[Value, int],
+                 model_cache: Optional[Dict[int, object]] = None) -> float:
+    from ..simulator.model import KernelModel
+    total = 0.0
+    for loop in block_parallels_in_region(alt.region(index)):
+        blocks = block_count(loop, env)
+        if blocks is None:
+            raise InvalidLaunch("grid size not evaluable")
+        if blocks <= 0:
+            continue
+        model = None if model_cache is None else model_cache.get(id(loop))
+        if model is None:
+            model = KernelModel(loop, arch)
+            if model_cache is not None:
+                model_cache[id(loop)] = model
+        total += model.time_launch(blocks).time_seconds
+    return total
+
+
+def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
+                               env,
+                               select: bool = True) -> TuneOutcome:
+    """Model every alternative and (optionally) select the fastest.
+
+    ``env`` may be a single launch-environment dict or a sequence of them:
+    the paper's profiling mode times each alternative over the *whole*
+    application run, so alternatives are ranked by their time summed over
+    every launch geometry observed (e.g. gaussian's shrinking grids).
+    """
+    envs = env if isinstance(env, (list, tuple)) else [env]
+    descs = polygeist.alternative_descs(alt)
+    candidates: List[Candidate] = []
+    model_cache: Dict[int, object] = {}
+    for index in range(len(alt.regions)):
+        try:
+            seconds = sum(_time_region(alt, index, arch, one, model_cache)
+                          for one in envs)
+            candidates.append(Candidate(index, descs[index], seconds, True))
+        except InvalidLaunch as error:
+            candidates.append(Candidate(index, descs[index], float("inf"),
+                                        False, str(error)))
+    valid = [c for c in candidates if c.valid]
+    if not valid:
+        raise InvalidLaunch("no alternative can launch on %s" % arch.name)
+    best = min(valid, key=lambda c: c.time_seconds)
+    if select:
+        select_alternative(alt, best.index)
+    return TuneOutcome(best.desc, best.time_seconds, candidates)
+
+
+def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
+                 env,
+                 configs: Sequence[Dict[str, object]]) -> TuneOutcome:
+    """Full §VI flow for one gpu_wrapper: alternatives → filters → TDO."""
+    from ..transforms.alternatives import generate_coarsening_alternatives
+    report = generate_coarsening_alternatives(wrapper, configs)
+    if report.op is None:
+        raise ValueError("no legal coarsening configuration: %s" %
+                         "; ".join(report.rejected))
+    _cleanup_alternatives(wrapper)
+    filters = run_filters(report.op, arch)
+    outcome = timing_driven_optimization(report.op, arch, env)
+    outcome.filters = filters
+    return outcome

@@ -1,0 +1,162 @@
+"""backprop — neural network training step (Rodinia).
+
+``layerforward`` uses a 16×16 block with shared input/weight tiles and a
+barrier-carrying tree reduction; ``adjust_weights`` is a simple streaming
+update kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+W = 16  # WIDTH/HEIGHT of the per-block tile
+
+SOURCE = r"""
+#define WIDTH 16
+
+__global__ void layerforward(float *input_cuda, float *input_hidden_cuda,
+                             float *hidden_partial_sum, int in, int hid) {
+    __shared__ float input_node[WIDTH];
+    __shared__ float weight_matrix[WIDTH][WIDTH];
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+
+    int index = (hid + 1) * WIDTH * by + (hid + 1) * ty + tx + 1 + (hid + 1);
+    int index_in = WIDTH * by + ty + 1;
+
+    if (tx == 0) {
+        input_node[ty] = input_cuda[index_in];
+    }
+    __syncthreads();
+    weight_matrix[ty][tx] = input_hidden_cuda[index];
+    __syncthreads();
+    weight_matrix[ty][tx] = weight_matrix[ty][tx] * input_node[ty];
+    __syncthreads();
+    for (int it = 0; it < 4; it++) {
+        int power_two = 2 << it;
+        if (ty % power_two == 0) {
+            weight_matrix[ty][tx] = weight_matrix[ty][tx] +
+                weight_matrix[ty + power_two / 2][tx];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) {
+        hidden_partial_sum[by * hid + ty] = weight_matrix[tx][ty];
+    }
+}
+
+__global__ void adjust_weights(float *delta, int hid, float *ly, int in,
+                               float *w, float *oldw) {
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int index = (hid + 1) * WIDTH * by + (hid + 1) * ty + tx + 1 + (hid + 1);
+    int index_y = WIDTH * by + ty + 1;
+    int index_x = tx + 1;
+    w[index] += 0.3f * delta[index_x] * ly[index_y] +
+        0.3f * oldw[index];
+    oldw[index] = 0.3f * delta[index_x] * ly[index_y] +
+        0.3f * oldw[index];
+}
+"""
+
+
+def layerforward_reference(input_units, weights, n_in, hid):
+    """Partial sums per block, exactly as the kernel computes them."""
+    blocks = n_in // W
+    partial = np.zeros((blocks, hid), dtype=np.float32)
+    for by in range(blocks):
+        tile = np.empty((W, W), dtype=np.float32)
+        for ty in range(W):
+            for tx in range(W):
+                index = (hid + 1) * W * by + (hid + 1) * ty + tx + 1 + \
+                    (hid + 1)
+                tile[ty, tx] = weights.ravel()[index]
+        node = input_units[W * by + 1: W * by + W + 1]
+        tile = (tile.T * node).T.astype(np.float32)
+        # tree reduction down column direction (float32 order matters)
+        for it in range(4):
+            p = 2 << it
+            for ty in range(0, W, p):
+                tile[ty] = (tile[ty] + tile[ty + p // 2]).astype(np.float32)
+        partial[by] = tile[0]
+    return partial.ravel()
+
+
+def adjust_reference(delta, hid, ly, n_in, w, oldw):
+    w = w.copy()
+    oldw = oldw.copy()
+    blocks = n_in // W
+    for by in range(blocks):
+        for ty in range(W):
+            for tx in range(W):
+                index = (hid + 1) * W * by + (hid + 1) * ty + tx + 1 + \
+                    (hid + 1)
+                index_y = W * by + ty + 1
+                index_x = tx + 1
+                change = np.float32(0.3) * delta[index_x] * ly[index_y] + \
+                    np.float32(0.3) * oldw.ravel()[index]
+                w.ravel()[index] = w.ravel()[index] + change
+                oldw.ravel()[index] = change
+    return w, oldw
+
+
+@register
+class Backprop(Benchmark):
+    name = "backprop"
+    source = SOURCE
+    verify_size = 64    # input units; hidden = 16
+    model_size = 65536
+    hid = W
+    rtol = 1e-4
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        hid = self.hid
+        return {
+            "input_units": rng.random(size + 1, dtype=np.float32),
+            "weights": rng.random((size + 1) * (hid + 1),
+                                  dtype=np.float32),
+            "delta": rng.random(hid + 1, dtype=np.float32),
+            "oldw": rng.random((size + 1) * (hid + 1), dtype=np.float32),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        blocks = size // W
+        yield ("layerforward", (1, blocks), (W, W))
+        yield ("adjust_weights", (1, blocks), (W, W))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        hid = self.hid
+        blocks = size // W
+        input_units = runtime.to_device(inputs["input_units"])
+        weights = runtime.to_device(inputs["weights"])
+        partial = runtime.malloc(blocks * hid, np.float32)
+        program.launch("layerforward", (1, blocks), (W, W),
+                       [input_units, weights, partial, size, hid],
+                       runtime=runtime)
+        delta = runtime.to_device(inputs["delta"])
+        oldw = runtime.to_device(inputs["oldw"])
+        program.launch("adjust_weights", (1, blocks), (W, W),
+                       [delta, hid, input_units, size, weights, oldw],
+                       runtime=runtime)
+        return {"partial": runtime.to_host(partial),
+                "weights": runtime.to_host(weights),
+                "oldw": runtime.to_host(oldw)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        partial = layerforward_reference(inputs["input_units"],
+                                         inputs["weights"], size, self.hid)
+        w, oldw = adjust_reference(inputs["delta"], self.hid,
+                                   inputs["input_units"], size,
+                                   inputs["weights"], inputs["oldw"])
+        return {"partial": partial, "weights": w.ravel(),
+                "oldw": oldw.ravel()}

@@ -1,0 +1,139 @@
+"""bfs — breadth-first search (Rodinia).
+
+Frontier expansion with heavy control-flow divergence and no shared memory;
+the host iterates until the frontier is empty (device→host flag readback
+each iteration, visible in composite time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 256
+
+SOURCE = r"""
+__global__ void bfs_kernel1(int *starts, int *degrees, int *edges,
+                            int *mask, int *updating_mask, int *visited,
+                            int *cost, int no_of_nodes) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid >= no_of_nodes) return;
+    if (mask[tid] == 1) {
+        mask[tid] = 0;
+        int start = starts[tid];
+        int degree = degrees[tid];
+        for (int i = start; i < start + degree; i++) {
+            int id = edges[i];
+            if (visited[id] == 0) {
+                cost[id] = cost[tid] + 1;
+                updating_mask[id] = 1;
+            }
+        }
+    }
+}
+
+__global__ void bfs_kernel2(int *mask, int *updating_mask, int *visited,
+                            int *over, int no_of_nodes) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid >= no_of_nodes) return;
+    if (updating_mask[tid] == 1) {
+        mask[tid] = 1;
+        visited[tid] = 1;
+        updating_mask[tid] = 0;
+        over[0] = 1;
+    }
+}
+"""
+
+
+def make_graph(n: int, degree: int, seed: int):
+    """A random graph in CSR form with fixed out-degree."""
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=n * degree).astype(np.int64)
+    # make it loosely connected: node i always links to (i+1) % n
+    edges[::degree] = (np.arange(n) + 1) % n
+    starts = (np.arange(n) * degree).astype(np.int64)
+    degrees = np.full(n, degree, dtype=np.int64)
+    return starts, degrees, edges
+
+
+def bfs_reference(starts, degrees, edges, n, source=0):
+    cost = np.full(n, -1, dtype=np.int64)
+    cost[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for e in range(starts[node], starts[node] + degrees[node]):
+                neighbor = edges[e]
+                if cost[neighbor] == -1:
+                    cost[neighbor] = level + 1
+                    next_frontier.append(neighbor)
+        frontier = sorted(set(next_frontier))
+        level += 1
+    return cost
+
+
+@register
+class BFS(Benchmark):
+    name = "bfs"
+    source = SOURCE
+    verify_size = 256
+    model_size = 1 << 20
+    degree = 4
+    rtol = 0.0
+
+    def build_inputs(self, size: int, seed: int = 0):
+        starts, degrees, edges = make_graph(size, self.degree, seed)
+        return {"starts": starts, "degrees": degrees, "edges": edges}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        for _ in range(12):  # typical number of frontier levels
+            yield ("bfs_kernel1", (grid,), (BLOCK,))
+            yield ("bfs_kernel2", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        n = size
+        grid = -(-n // BLOCK)
+        starts = runtime.to_device(inputs["starts"])
+        degrees = runtime.to_device(inputs["degrees"])
+        edges = runtime.to_device(inputs["edges"])
+        mask = runtime.malloc(n, np.int64)
+        updating = runtime.malloc(n, np.int64)
+        visited = runtime.malloc(n, np.int64)
+        cost = runtime.malloc(n, np.int64)
+        cost.fill(-1)
+        host_mask = np.zeros(n, dtype=np.int64)
+        host_mask[0] = 1
+        runtime.write(mask, host_mask)
+        host_visited = np.zeros(n, dtype=np.int64)
+        host_visited[0] = 1
+        runtime.write(visited, host_visited)
+        host_cost = np.full(n, -1, dtype=np.int64)
+        host_cost[0] = 0
+        runtime.write(cost, host_cost)
+        over = runtime.malloc(1, np.int64)
+
+        for _ in range(n):  # safety bound
+            over.fill(0)
+            program.launch("bfs_kernel1", (grid,), (BLOCK,),
+                           [starts, degrees, edges, mask, updating,
+                            visited, cost, n], runtime=runtime)
+            program.launch("bfs_kernel2", (grid,), (BLOCK,),
+                           [mask, updating, visited, over, n],
+                           runtime=runtime)
+            if runtime.to_host(over)[0] == 0:
+                break
+        return {"cost": runtime.to_host(cost)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"cost": bfs_reference(inputs["starts"], inputs["degrees"],
+                                      inputs["edges"], size)}

@@ -1,0 +1,158 @@
+"""cfd — unstructured-grid Euler solver (Rodinia's euler3d).
+
+The ``compute_flux`` kernel: per-element flux accumulation over four
+neighbors through an indirection array — scattered (uncoalesced) loads,
+moderate fp32 arithmetic, no shared memory. A classic memory-divergence
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 192          # Rodinia's BLOCK_SIZE_3
+NNB = 4              # neighbors per element
+NVAR = 5             # density, 3 x momentum, energy
+
+SOURCE = r"""
+#define NNB 4
+#define NVAR 5
+
+__global__ void cuda_compute_flux(int nelr, int *neighbors,
+                                  float *normals, float *variables,
+                                  float *fluxes, float smoothing) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= nelr) return;
+
+    float density_i = variables[i * NVAR];
+    float mx_i = variables[i * NVAR + 1];
+    float my_i = variables[i * NVAR + 2];
+    float mz_i = variables[i * NVAR + 3];
+    float energy_i = variables[i * NVAR + 4];
+
+    float flux_density = 0.0f;
+    float flux_x = 0.0f;
+    float flux_y = 0.0f;
+    float flux_z = 0.0f;
+    float flux_energy = 0.0f;
+
+    for (int j = 0; j < NNB; j++) {
+        int nb = neighbors[i * NNB + j];
+        float nx = normals[(i * NNB + j) * 3];
+        float ny = normals[(i * NNB + j) * 3 + 1];
+        float nz = normals[(i * NNB + j) * 3 + 2];
+        if (nb >= 0) {
+            float density_nb = variables[nb * NVAR];
+            float mx_nb = variables[nb * NVAR + 1];
+            float my_nb = variables[nb * NVAR + 2];
+            float mz_nb = variables[nb * NVAR + 3];
+            float energy_nb = variables[nb * NVAR + 4];
+            float factor = smoothing * (density_i + density_nb);
+            flux_density += factor * (nx * (mx_i + mx_nb) +
+                                      ny * (my_i + my_nb) +
+                                      nz * (mz_i + mz_nb));
+            flux_x += factor * nx * (density_nb - density_i);
+            flux_y += factor * ny * (density_nb - density_i);
+            flux_z += factor * nz * (density_nb - density_i);
+            flux_energy += factor * (energy_nb - energy_i);
+        }
+    }
+    fluxes[i * NVAR] = flux_density;
+    fluxes[i * NVAR + 1] = flux_x;
+    fluxes[i * NVAR + 2] = flux_y;
+    fluxes[i * NVAR + 3] = flux_z;
+    fluxes[i * NVAR + 4] = flux_energy;
+}
+
+__global__ void cuda_time_step(int nelr, float *variables, float *fluxes,
+                               float dt) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= nelr) return;
+    for (int v = 0; v < NVAR; v++) {
+        variables[i * NVAR + v] += dt * fluxes[i * NVAR + v];
+    }
+}
+"""
+
+
+def cfd_reference(variables, neighbors, normals, smoothing, dt, nelr):
+    var = variables.astype(np.float32).reshape(nelr, NVAR).copy()
+    nb = neighbors.reshape(nelr, NNB)
+    nm = normals.astype(np.float32).reshape(nelr, NNB, 3)
+    fluxes = np.zeros_like(var)
+    smoothing = np.float32(smoothing)
+    for i in range(nelr):
+        fd = np.float32(0.0)
+        fx = np.float32(0.0)
+        fy = np.float32(0.0)
+        fz = np.float32(0.0)
+        fe = np.float32(0.0)
+        for j in range(NNB):
+            n = nb[i, j]
+            if n < 0:
+                continue
+            nx, ny, nz = nm[i, j]
+            factor = smoothing * (var[i, 0] + var[n, 0])
+            fd += factor * (nx * (var[i, 1] + var[n, 1]) +
+                            ny * (var[i, 2] + var[n, 2]) +
+                            nz * (var[i, 3] + var[n, 3]))
+            fx += factor * nx * (var[n, 0] - var[i, 0])
+            fy += factor * ny * (var[n, 0] - var[i, 0])
+            fz += factor * nz * (var[n, 0] - var[i, 0])
+            fe += factor * (var[n, 4] - var[i, 4])
+        fluxes[i] = (fd, fx, fy, fz, fe)
+    var = (var + np.float32(dt) * fluxes).astype(np.float32)
+    return var.ravel(), fluxes.ravel()
+
+
+@register
+class CFD(Benchmark):
+    name = "cfd"
+    source = SOURCE
+    verify_size = 384    # elements
+    model_size = 200000
+    rtol = 1e-4
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        neighbors = rng.integers(-1, size,
+                                 size=size * NNB).astype(np.int64)
+        return {
+            "variables": rng.random(size * NVAR, dtype=np.float32) + 1.0,
+            "neighbors": neighbors,
+            "normals": (rng.random(size * NNB * 3,
+                                   dtype=np.float32) - 0.5),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        for _ in range(8):  # RK iterations
+            yield ("cuda_compute_flux", (grid,), (BLOCK,))
+            yield ("cuda_time_step", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // BLOCK)
+        variables = runtime.to_device(inputs["variables"])
+        neighbors = runtime.to_device(inputs["neighbors"])
+        normals = runtime.to_device(inputs["normals"])
+        fluxes = runtime.malloc(size * NVAR, np.float32)
+        program.launch("cuda_compute_flux", (grid,), (BLOCK,),
+                       [size, neighbors, normals, variables, fluxes, 0.1],
+                       runtime=runtime)
+        program.launch("cuda_time_step", (grid,), (BLOCK,),
+                       [size, variables, fluxes, 0.01], runtime=runtime)
+        return {"variables": runtime.to_host(variables),
+                "fluxes": runtime.to_host(fluxes)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        variables, fluxes = cfd_reference(
+            inputs["variables"], inputs["neighbors"], inputs["normals"],
+            0.1, 0.01, size)
+        return {"variables": variables, "fluxes": fluxes}

@@ -1,0 +1,113 @@
+"""gaussian — Gaussian elimination (Rodinia).
+
+The §VII-C pathology: ``Fan2`` runs in 4×4 = 16-thread blocks — less than a
+warp — with low arithmetic intensity and a launch per matrix row, so it
+"fails to saturate available resources and even run in a full warp". Block
+coarsening is the paper's fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK_1D = 16
+BLOCK_XY = 4  # Fan2 runs 4x4 blocks = 16 threads
+
+SOURCE = r"""
+__global__ void Fan1(float *m_cuda, float *a_cuda, int Size, int t) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= Size - 1 - t) return;
+    m_cuda[Size * (i + t + 1) + t] =
+        a_cuda[Size * (i + t + 1) + t] / a_cuda[Size * t + t];
+}
+
+__global__ void Fan2(float *m_cuda, float *a_cuda, float *b_cuda,
+                     int Size, int t) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= Size - 1 - t) return;
+    if (y >= Size - t) return;
+    a_cuda[Size * (x + 1 + t) + (y + t)] -=
+        m_cuda[Size * (x + 1 + t) + t] * a_cuda[Size * t + (y + t)];
+    if (y == 0) {
+        b_cuda[x + 1 + t] -= m_cuda[Size * (x + 1 + t) + t] * b_cuda[t];
+    }
+}
+"""
+
+
+def gaussian_reference(a: np.ndarray, b: np.ndarray):
+    """Forward elimination + back substitution, in float32."""
+    a = a.astype(np.float32).copy()
+    b = b.astype(np.float32).copy()
+    n = a.shape[0]
+    m = np.zeros_like(a)
+    for t in range(n - 1):
+        m[t + 1:, t] = (a[t + 1:, t] / a[t, t]).astype(np.float32)
+        a[t + 1:, t:] = (a[t + 1:, t:] -
+                         np.outer(m[t + 1:, t], a[t, t:])).astype(np.float32)
+        b[t + 1:] = (b[t + 1:] - m[t + 1:, t] * b[t]).astype(np.float32)
+    x = np.zeros(n, dtype=np.float32)
+    for i in range(n - 1, -1, -1):
+        x[i] = np.float32((b[i] - np.dot(a[i, i + 1:], x[i + 1:])) / a[i, i])
+    return a, b, x
+
+
+@register
+class Gaussian(Benchmark):
+    name = "gaussian"
+    source = SOURCE
+    verify_size = 48
+    model_size = 1024
+    rtol = 1e-2  # elimination is numerically touchy in fp32
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        a = rng.random((size, size), dtype=np.float32)
+        a += np.eye(size, dtype=np.float32) * size
+        b = rng.random(size, dtype=np.float32)
+        return {"a": a, "b": b}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        for t in range(size - 1):
+            rows = size - 1 - t
+            grid1 = -(-rows // BLOCK_1D)
+            yield ("Fan1", (grid1,), (BLOCK_1D,))
+            gx = -(-rows // BLOCK_XY)
+            gy = -(-(size - t) // BLOCK_XY)
+            yield ("Fan2", (gx, gy), (BLOCK_XY, BLOCK_XY))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        a = runtime.to_device(inputs["a"].ravel())
+        b = runtime.to_device(inputs["b"])
+        m = runtime.malloc(size * size, np.float32)
+        m.fill(0.0)
+        for t in range(size - 1):
+            rows = size - 1 - t
+            grid1 = -(-rows // BLOCK_1D)
+            program.launch("Fan1", (grid1,), (BLOCK_1D,),
+                           [m, a, size, t], runtime=runtime)
+            gx = -(-rows // BLOCK_XY)
+            gy = -(-(size - t) // BLOCK_XY)
+            program.launch("Fan2", (gx, gy), (BLOCK_XY, BLOCK_XY),
+                           [m, a, b, size, t], runtime=runtime)
+        a_host = runtime.to_host(a).reshape(size, size)
+        b_host = runtime.to_host(b)
+        # back substitution on the host, as in Rodinia
+        x = np.zeros(size, dtype=np.float32)
+        for i in range(size - 1, -1, -1):
+            x[i] = np.float32(
+                (b_host[i] - np.dot(a_host[i, i + 1:], x[i + 1:])) /
+                a_host[i, i])
+        return {"x": x}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        _, _, x = gaussian_reference(inputs["a"], inputs["b"])
+        return {"x": x}

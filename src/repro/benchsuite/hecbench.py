@@ -1,0 +1,357 @@
+"""HeCBench-style micro-benchmarks.
+
+The paper's kernel-level experiment (§VII-B, Fig. 13) additionally sweeps
+112 HeCBench benchmarks. This module provides a representative slice of
+that population — classic kernels with distinct resource signatures — to
+widen the coarsening sweep beyond Rodinia. They register like any other
+benchmark but are kept in a separate registry so the Rodinia experiments
+stay faithful to the paper's suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch
+
+#: HeCBench-style extras (not part of the Rodinia registry)
+HECBENCH: Dict[str, Benchmark] = {}
+
+
+def register_hec(benchmark_class):
+    instance = benchmark_class()
+    HECBENCH[instance.name] = instance
+    return benchmark_class
+
+
+@register_hec
+class Atax(Benchmark):
+    """atax: A^T (A x) — two matrix-vector products, bandwidth bound."""
+
+    name = "hec-atax"
+    verify_size = 64
+    model_size = 4096
+    rtol = 1e-3
+    source = r"""
+__global__ void atax_kernel1(float *A, float *x, float *tmp, int nx,
+                             int ny) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= nx) return;
+    float acc = 0.0f;
+    for (int j = 0; j < ny; j++) {
+        acc += A[i * ny + j] * x[j];
+    }
+    tmp[i] = acc;
+}
+
+__global__ void atax_kernel2(float *A, float *y, float *tmp, int nx,
+                             int ny) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j >= ny) return;
+    float acc = 0.0f;
+    for (int i = 0; i < nx; i++) {
+        acc += A[i * ny + j] * tmp[i];
+    }
+    y[j] = acc;
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"A": rng.random((size, size), dtype=np.float32),
+                "x": rng.random(size, dtype=np.float32)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // 256)
+        yield ("atax_kernel1", (grid,), (256,))
+        yield ("atax_kernel2", (grid,), (256,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // 256)
+        A = runtime.to_device(inputs["A"].ravel())
+        x = runtime.to_device(inputs["x"])
+        tmp = runtime.malloc(size, np.float32)
+        y = runtime.malloc(size, np.float32)
+        program.launch("atax_kernel1", (grid,), (256,),
+                       [A, x, tmp, size, size], runtime=runtime)
+        program.launch("atax_kernel2", (grid,), (256,),
+                       [A, y, tmp, size, size], runtime=runtime)
+        return {"y": runtime.to_host(y)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        A = inputs["A"].astype(np.float32)
+        tmp = (A @ inputs["x"]).astype(np.float32)
+        return {"y": (A.T @ tmp).astype(np.float32)}
+
+
+@register_hec
+class SharedGemm(Benchmark):
+    """gemm with 16x16 shared tiles — the canonical coarsening target."""
+
+    name = "hec-gemm"
+    verify_size = 64
+    model_size = 2048
+    rtol = 1e-3
+    source = r"""
+#define TS 16
+
+__global__ void gemm_tiled(float *A, float *B, float *C, int n) {
+    __shared__ float As[TS][TS];
+    __shared__ float Bs[TS][TS];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int row = blockIdx.y * TS + ty;
+    int col = blockIdx.x * TS + tx;
+    float acc = 0.0f;
+    for (int t = 0; t < n / TS; t++) {
+        As[ty][tx] = A[row * n + t * TS + tx];
+        Bs[ty][tx] = B[(t * TS + ty) * n + col];
+        __syncthreads();
+        for (int k = 0; k < TS; k++) {
+            acc += As[ty][k] * Bs[k][tx];
+        }
+        __syncthreads();
+    }
+    C[row * n + col] = acc;
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"A": rng.random((size, size), dtype=np.float32),
+                "B": rng.random((size, size), dtype=np.float32)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = size // 16
+        yield ("gemm_tiled", (grid, grid), (16, 16))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = size // 16
+        A = runtime.to_device(inputs["A"].ravel())
+        B = runtime.to_device(inputs["B"].ravel())
+        C = runtime.malloc(size * size, np.float32)
+        program.launch("gemm_tiled", (grid, grid), (16, 16),
+                       [A, B, C, size], runtime=runtime)
+        return {"C": runtime.to_host(C).reshape(size, size)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        A = inputs["A"].astype(np.float32).reshape(size // 16, 16, -1)
+        # tile-ordered accumulation to match the kernel's fp32 rounding
+        a = inputs["A"].astype(np.float32)
+        b = inputs["B"].astype(np.float32)
+        c = np.zeros((size, size), dtype=np.float32)
+        for t in range(size // 16):
+            c += a[:, t * 16:(t + 1) * 16] @ b[t * 16:(t + 1) * 16, :]
+            c = c.astype(np.float32)
+        return {"C": c}
+
+
+@register_hec
+class Stencil1D(Benchmark):
+    """1-D 7-point stencil with a shared halo tile."""
+
+    name = "hec-stencil1d"
+    verify_size = 2048
+    model_size = 1 << 22
+    rtol = 1e-5
+    source = r"""
+#define BS 256
+#define R 3
+
+__global__ void stencil_1d(float *in, float *out, int n) {
+    __shared__ float tile[BS + 2 * R];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    int l = threadIdx.x + R;
+    tile[l] = in[g + R];
+    if (threadIdx.x < R) {
+        tile[l - R] = in[g];
+        tile[l + BS] = in[g + BS + R];
+    }
+    __syncthreads();
+    float acc = 0.0f;
+    for (int k = 0; k < 2 * R + 1; k++) {
+        acc += tile[threadIdx.x + k];
+    }
+    out[g] = acc / 7.0f;
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"in": rng.random(size + 2 * 3 + 256, dtype=np.float32)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        yield ("stencil_1d", (size // 256,), (256,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        src = runtime.to_device(inputs["in"])
+        out = runtime.malloc(size, np.float32)
+        program.launch("stencil_1d", (size // 256,), (256,),
+                       [src, out, size], runtime=runtime)
+        return {"out": runtime.to_host(out)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        data = inputs["in"].astype(np.float32)
+        acc = np.zeros(size, dtype=np.float32)
+        for k in range(7):
+            acc += data[k:k + size]
+            acc = acc.astype(np.float32)
+        return {"out": acc / np.float32(7.0)}
+
+
+@register_hec
+class Softmax(Benchmark):
+    """row-wise softmax: per-row reduction + normalization per thread."""
+
+    name = "hec-softmax"
+    verify_size = 512
+    model_size = 1 << 16
+    rtol = 1e-4
+    source = r"""
+#define COLS 16
+
+__global__ void softmax_kernel(float *in, float *out, int rows) {
+    int r = blockIdx.x * blockDim.x + threadIdx.x;
+    if (r >= rows) return;
+    float maxv = in[r * COLS];
+    for (int c = 1; c < COLS; c++) {
+        maxv = fmaxf(maxv, in[r * COLS + c]);
+    }
+    float total = 0.0f;
+    for (int c = 0; c < COLS; c++) {
+        total += expf(in[r * COLS + c] - maxv);
+    }
+    for (int c = 0; c < COLS; c++) {
+        out[r * COLS + c] = expf(in[r * COLS + c] - maxv) / total;
+    }
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"in": rng.random(size * 16, dtype=np.float32) * 4}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        yield ("softmax_kernel", (-(-size // 256),), (256,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        src = runtime.to_device(inputs["in"])
+        out = runtime.malloc(size * 16, np.float32)
+        program.launch("softmax_kernel", (-(-size // 256),), (256,),
+                       [src, out, size], runtime=runtime)
+        return {"out": runtime.to_host(out)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        data = inputs["in"].astype(np.float32).reshape(size, 16)
+        maxv = data.max(axis=1, keepdims=True)
+        e = np.exp(data - maxv).astype(np.float32)
+        return {"out": (e / e.sum(axis=1, keepdims=True,
+                                  dtype=np.float32)).astype(
+            np.float32).ravel()}
+
+
+@register_hec
+class Reduction(Benchmark):
+    """two-level tree reduction with shared memory."""
+
+    name = "hec-reduction"
+    verify_size = 1 << 13
+    model_size = 1 << 24
+    rtol = 1e-4
+    source = r"""
+#define BS 256
+
+__global__ void reduce_kernel(float *in, float *out, int n) {
+    __shared__ float partial[BS];
+    int tx = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + tx;
+    float v = 0.0f;
+    if (g < n) {
+        v = in[g];
+    }
+    partial[tx] = v;
+    __syncthreads();
+    for (int it = 0; it < 8; it++) {
+        int stride = BS >> (it + 1);
+        if (tx < stride) {
+            partial[tx] += partial[tx + stride];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) {
+        out[blockIdx.x] = partial[0];
+    }
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"in": rng.random(size, dtype=np.float32)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        yield ("reduce_kernel", (-(-size // 256),), (256,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // 256)
+        src = runtime.to_device(inputs["in"])
+        out = runtime.malloc(grid, np.float32)
+        program.launch("reduce_kernel", (grid,), (256,),
+                       [src, out, size], runtime=runtime)
+        total = runtime.to_host(out).sum(dtype=np.float64)
+        return {"total": np.array([total])}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"total": np.array([inputs["in"].sum(dtype=np.float64)])}
+
+
+@register_hec
+class Transpose(Benchmark):
+    """tiled matrix transpose through shared memory (coalescing classic)."""
+
+    name = "hec-transpose"
+    verify_size = 64
+    model_size = 8192
+    rtol = 0.0
+    source = r"""
+#define TS 16
+
+__global__ void transpose_tiled(float *in, float *out, int n) {
+    __shared__ float tile[TS][TS + 1];
+    int x = blockIdx.x * TS + threadIdx.x;
+    int y = blockIdx.y * TS + threadIdx.y;
+    tile[threadIdx.y][threadIdx.x] = in[y * n + x];
+    __syncthreads();
+    int tx = blockIdx.y * TS + threadIdx.x;
+    int ty = blockIdx.x * TS + threadIdx.y;
+    out[ty * n + tx] = tile[threadIdx.x][threadIdx.y];
+}
+"""
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"in": rng.random((size, size), dtype=np.float32)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = size // 16
+        yield ("transpose_tiled", (grid, grid), (16, 16))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = size // 16
+        src = runtime.to_device(inputs["in"].ravel())
+        out = runtime.malloc(size * size, np.float32)
+        program.launch("transpose_tiled", (grid, grid), (16, 16),
+                       [src, out, size], runtime=runtime)
+        return {"out": runtime.to_host(out).reshape(size, size)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"out": inputs["in"].T.copy()}

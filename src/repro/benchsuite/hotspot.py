@@ -1,0 +1,145 @@
+"""hotspot — thermal simulation stencil (Rodinia).
+
+16×16 blocks with shared tiles for temperature and power; the block
+processes the interior of its tile (one pyramid step per launch), iterated
+from the host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+B = 16
+
+SOURCE = r"""
+#define BS 16
+
+__global__ void calculate_temp(float *power, float *temp_src,
+                               float *temp_dst, int grid_cols,
+                               int grid_rows, float cap, float rx,
+                               float ry, float rz, float step) {
+    __shared__ float temp_on_cuda[BS][BS];
+    __shared__ float power_on_cuda[BS][BS];
+
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+
+    // each block computes the interior (BS-2)^2 of its tile
+    int small = BS - 2;
+    int blkY = small * by - 1;
+    int blkX = small * bx - 1;
+    int yidx = blkY + ty;
+    int xidx = blkX + tx;
+
+    int loadYidx = min(max(yidx, 0), grid_rows - 1);
+    int loadXidx = min(max(xidx, 0), grid_cols - 1);
+    int index = grid_cols * loadYidx + loadXidx;
+    temp_on_cuda[ty][tx] = temp_src[index];
+    power_on_cuda[ty][tx] = power[index];
+    __syncthreads();
+
+    float amb_temp = 80.0f;
+    float step_div_cap = step / cap;
+    int inside = 0;
+    if (ty >= 1 && ty <= BS - 2 && tx >= 1 && tx <= BS - 2 &&
+        yidx >= 0 && yidx <= grid_rows - 1 &&
+        xidx >= 0 && xidx <= grid_cols - 1) {
+        inside = 1;
+    }
+    float updated = 0.0f;
+    if (inside == 1) {
+        float center = temp_on_cuda[ty][tx];
+        float north = temp_on_cuda[ty - 1][tx];
+        float south = temp_on_cuda[ty + 1][tx];
+        float west = temp_on_cuda[ty][tx - 1];
+        float east = temp_on_cuda[ty][tx + 1];
+        updated = center + step_div_cap *
+            (power_on_cuda[ty][tx] +
+             (south + north - 2.0f * center) / ry +
+             (east + west - 2.0f * center) / rx +
+             (amb_temp - center) / rz);
+    }
+    __syncthreads();
+    if (inside == 1) {
+        temp_dst[grid_cols * yidx + xidx] = updated;
+    }
+}
+"""
+
+
+def hotspot_reference(power, temp, steps, cap, rx, ry, rz, step):
+    temp = temp.astype(np.float32).copy()
+    power = power.astype(np.float32)
+    amb = np.float32(80.0)
+    sdc = np.float32(step / cap)
+    for _ in range(steps):
+        padded = np.pad(temp, 1, mode="edge")
+        north = padded[:-2, 1:-1]
+        south = padded[2:, 1:-1]
+        west = padded[1:-1, :-2]
+        east = padded[1:-1, 2:]
+        temp = (temp + sdc * (power +
+                              (south + north - 2 * temp) / np.float32(ry) +
+                              (east + west - 2 * temp) / np.float32(rx) +
+                              (amb - temp) / np.float32(rz))
+                ).astype(np.float32)
+    return temp
+
+
+_PARAMS = dict(cap=0.5, rx=1.0, ry=1.0, rz=80.0, step=0.0625)
+
+
+@register
+class Hotspot(Benchmark):
+    name = "hotspot"
+    source = SOURCE
+    verify_size = 28   # 2x2 blocks of interior 14
+    model_size = 1022
+    steps = 2
+    model_steps = 60
+    rtol = 1e-3
+
+    def _grid(self, size: int) -> int:
+        return -(-size // (B - 2))
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {
+            "temp": (rng.random((size, size), dtype=np.float32) * 50 + 300),
+            "power": rng.random((size, size), dtype=np.float32),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        g = self._grid(size)
+        for _ in range(self.model_steps):
+            yield ("calculate_temp", (g, g), (B, B))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        g = self._grid(size)
+        p = _PARAMS
+        power = runtime.to_device(inputs["power"].ravel())
+        src = runtime.to_device(inputs["temp"].ravel())
+        dst = runtime.malloc(size * size, np.float32)
+        dst.write(inputs["temp"].ravel())
+        for _ in range(self.steps):
+            program.launch("calculate_temp", (g, g), (B, B),
+                           [power, src, dst, size, size, p["cap"],
+                            p["rx"], p["ry"], p["rz"], p["step"]],
+                           runtime=runtime)
+            src, dst = dst, src
+        return {"temp": runtime.to_host(src).reshape(size, size)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        p = _PARAMS
+        return {"temp": hotspot_reference(
+            inputs["power"], inputs["temp"], self.steps, p["cap"], p["rx"],
+            p["ry"], p["rz"], p["step"])}

@@ -1,0 +1,127 @@
+"""hotspot3D — 3-D thermal stencil (Rodinia), double precision.
+
+One of the f64-heavy benchmarks the paper singles out in §VII-D2: the
+RX6800's higher FP64 throughput beats the A4000 here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BX, BY = 16, 4
+
+SOURCE = r"""
+__global__ void hotspotOpt1(double *p, double *tIn, double *tOut,
+                            double stepDivCap, int nx, int ny, int nz,
+                            double ce, double cw, double cn, double cs,
+                            double ct, double cb, double cc) {
+    double amb_temp = 80.0;
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    int j = blockDim.y * blockIdx.y + threadIdx.y;
+    if (i >= nx) return;
+    if (j >= ny) return;
+    int c = i + j * nx;
+    int xy = nx * ny;
+    int W = i - 1;
+    int E = i + 1;
+    int N = j - 1;
+    int S = j + 1;
+    if (W < 0) W = 0;
+    if (E > nx - 1) E = nx - 1;
+    if (N < 0) N = 0;
+    if (S > ny - 1) S = ny - 1;
+
+    double temp1 = tIn[c];
+    double temp2 = tIn[c];
+    double temp3 = tIn[c + xy];
+    for (int k = 0; k < nz; k++) {
+        int base = k * xy;
+        tOut[c + base] = cc * temp2 + cw * tIn[base + W + j * nx] +
+            ce * tIn[base + E + j * nx] + cs * tIn[base + i + S * nx] +
+            cn * tIn[base + i + N * nx] + cb * temp1 + ct * temp3 +
+            stepDivCap * p[c + base] + ct * amb_temp;
+        temp1 = temp2;
+        temp2 = temp3;
+        if (k + 2 < nz) {
+            temp3 = tIn[c + (k + 2) * xy];
+        }
+    }
+}
+"""
+
+
+def hotspot3d_reference(power, temp, steps, coeffs, sdc, nx, ny, nz):
+    ce, cw, cn, cs, ct, cb, cc = coeffs
+    t = temp.astype(np.float64).copy().reshape(nz, ny, nx)
+    p = power.astype(np.float64).reshape(nz, ny, nx)
+    amb = 80.0
+    for _ in range(steps):
+        west = np.concatenate([t[:, :, :1], t[:, :, :-1]], axis=2)
+        east = np.concatenate([t[:, :, 1:], t[:, :, -1:]], axis=2)
+        north = np.concatenate([t[:, :1, :], t[:, :-1, :]], axis=1)
+        south = np.concatenate([t[:, 1:, :], t[:, -1:, :]], axis=1)
+        below = np.concatenate([t[:1, :, :], t[:-1, :, :]], axis=0)
+        above = np.concatenate([t[1:, :, :], t[-1:, :, :]], axis=0)
+        t = (cc * t + cw * west + ce * east + cs * south + cn * north +
+             cb * below + ct * above + sdc * p + ct * amb)
+    return t.ravel()
+
+
+_COEFFS = (0.03, 0.03, 0.01, 0.01, 0.05, 0.05, 0.82)
+_SDC = 0.001
+
+
+@register
+class Hotspot3D(Benchmark):
+    name = "hotspot3D"
+    source = SOURCE
+    uses_double = True
+    verify_size = 16   # 16 x 16 x 4
+    model_size = 512
+    steps = 2
+    model_steps = 100
+    rtol = 1e-6
+
+    def _dims(self, size: int):
+        return size, size, 4 if size <= 64 else 8
+
+    def build_inputs(self, size: int, seed: int = 0):
+        nx, ny, nz = self._dims(size)
+        rng = np.random.default_rng(seed)
+        return {
+            "temp": rng.random(nx * ny * nz) * 50 + 300,
+            "power": rng.random(nx * ny * nz),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        nx, ny, _ = self._dims(size)
+        grid = (-(-nx // BX), -(-ny // BY))
+        for _ in range(self.model_steps):
+            yield ("hotspotOpt1", grid, (BX, BY))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        nx, ny, nz = self._dims(size)
+        ce, cw, cn, cs, ct, cb, cc = _COEFFS
+        power = runtime.to_device(inputs["power"])
+        src = runtime.to_device(inputs["temp"])
+        dst = runtime.malloc(nx * ny * nz, np.float64)
+        grid = (-(-nx // BX), -(-ny // BY))
+        for _ in range(self.steps):
+            program.launch("hotspotOpt1", grid, (BX, BY),
+                           [power, src, dst, _SDC, nx, ny, nz,
+                            ce, cw, cn, cs, ct, cb, cc], runtime=runtime)
+            src, dst = dst, src
+        return {"temp": runtime.to_host(src)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        nx, ny, nz = self._dims(size)
+        return {"temp": hotspot3d_reference(
+            inputs["power"], inputs["temp"], self.steps, _COEFFS, _SDC,
+            nx, ny, nz)}

@@ -1,0 +1,157 @@
+"""lavaMD — particle interactions within neighbor boxes (Rodinia).
+
+Double precision, one thread block per home box, shared staging of the
+neighbor box particles, and an inner interaction loop whose shared loads
+are loop-invariant — the kernel behind the paper's LICM anecdote (§VII-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+PAR = 32   # particles per box (Rodinia: 100; reduced for interpretation)
+
+SOURCE = r"""
+#define PAR 32
+
+__global__ void kernel_gpu_cuda(double *rvx, double *rvy, double *rvz,
+                                double *rvq, double *fvx, double *fvy,
+                                double *fvz, double *fvq,
+                                int *nei_list, int nei_count,
+                                double alpha, int num_boxes) {
+    __shared__ double rAx[PAR];
+    __shared__ double rAy[PAR];
+    __shared__ double rAz[PAR];
+    __shared__ double rBx[PAR];
+    __shared__ double rBy[PAR];
+    __shared__ double rBz[PAR];
+    __shared__ double qB[PAR];
+
+    int bx = blockIdx.x;
+    int wtx = threadIdx.x;
+    double a2 = 2.0 * alpha * alpha;
+
+    int first_i = bx * PAR;
+    rAx[wtx] = rvx[first_i + wtx];
+    rAy[wtx] = rvy[first_i + wtx];
+    rAz[wtx] = rvz[first_i + wtx];
+    __syncthreads();
+
+    double fx = 0.0;
+    double fy = 0.0;
+    double fz = 0.0;
+    double fq = 0.0;
+
+    for (int k = 0; k < nei_count; k++) {
+        int pointer = nei_list[bx * nei_count + k];
+        int first_j = pointer * PAR;
+        rBx[wtx] = rvx[first_j + wtx];
+        rBy[wtx] = rvy[first_j + wtx];
+        rBz[wtx] = rvz[first_j + wtx];
+        qB[wtx] = rvq[first_j + wtx];
+        __syncthreads();
+
+        for (int j = 0; j < PAR; j++) {
+            double r2 = rAx[wtx] * rBx[j] + rAy[wtx] * rBy[j] +
+                rAz[wtx] * rBz[j];
+            double u2 = a2 * r2;
+            double vij = exp(-u2);
+            double fs = 2.0 * vij;
+            double dx = rAx[wtx] - rBx[j];
+            double dy = rAy[wtx] - rBy[j];
+            double dz = rAz[wtx] - rBz[j];
+            fq += qB[j] * vij;
+            fx += qB[j] * fs * dx;
+            fy += qB[j] * fs * dy;
+            fz += qB[j] * fs * dz;
+        }
+        __syncthreads();
+    }
+    fvx[first_i + wtx] += fx;
+    fvy[first_i + wtx] += fy;
+    fvz[first_i + wtx] += fz;
+    fvq[first_i + wtx] += fq;
+}
+"""
+
+
+def lavamd_reference(rv, q, nei_list, num_boxes, nei_count, alpha):
+    rx, ry, rz = rv
+    n = num_boxes * PAR
+    fx = np.zeros(n)
+    fy = np.zeros(n)
+    fz = np.zeros(n)
+    fq = np.zeros(n)
+    a2 = 2.0 * alpha * alpha
+    for bx in range(num_boxes):
+        home = slice(bx * PAR, (bx + 1) * PAR)
+        ax, ay, az = rx[home], ry[home], rz[home]
+        for k in range(nei_count):
+            pointer = nei_list[bx * nei_count + k]
+            nb = slice(pointer * PAR, (pointer + 1) * PAR)
+            bx_, by_, bz_, qb = rx[nb], ry[nb], rz[nb], q[nb]
+            r2 = np.outer(ax, bx_) + np.outer(ay, by_) + np.outer(az, bz_)
+            vij = np.exp(-a2 * r2)
+            fs = 2.0 * vij
+            dx = ax[:, None] - bx_[None, :]
+            dy = ay[:, None] - by_[None, :]
+            dz = az[:, None] - bz_[None, :]
+            fq[home] += (qb[None, :] * vij).sum(axis=1)
+            fx[home] += (qb[None, :] * fs * dx).sum(axis=1)
+            fy[home] += (qb[None, :] * fs * dy).sum(axis=1)
+            fz[home] += (qb[None, :] * fs * dz).sum(axis=1)
+    return fx, fy, fz, fq
+
+
+@register
+class LavaMD(Benchmark):
+    name = "lavaMD"
+    source = SOURCE
+    uses_double = True
+    verify_size = 4    # boxes
+    model_size = 1000
+    nei_count = 3
+    rtol = 1e-9
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        n = size * PAR
+        nei = rng.integers(0, size, size=size * self.nei_count
+                           ).astype(np.int64)
+        return {
+            "rx": rng.random(n), "ry": rng.random(n), "rz": rng.random(n),
+            "q": rng.random(n), "nei": nei,
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        yield ("kernel_gpu_cuda", (size,), (PAR,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        n = size * PAR
+        rx = runtime.to_device(inputs["rx"])
+        ry = runtime.to_device(inputs["ry"])
+        rz = runtime.to_device(inputs["rz"])
+        q = runtime.to_device(inputs["q"])
+        nei = runtime.to_device(inputs["nei"])
+        fx = runtime.malloc(n, np.float64)
+        fy = runtime.malloc(n, np.float64)
+        fz = runtime.malloc(n, np.float64)
+        fq = runtime.malloc(n, np.float64)
+        program.launch("kernel_gpu_cuda", (size,), (PAR,),
+                       [rx, ry, rz, q, fx, fy, fz, fq, nei,
+                        self.nei_count, 0.5, size], runtime=runtime)
+        return {"fx": runtime.to_host(fx), "fy": runtime.to_host(fy),
+                "fz": runtime.to_host(fz), "fq": runtime.to_host(fq)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        fx, fy, fz, fq = lavamd_reference(
+            (inputs["rx"], inputs["ry"], inputs["rz"]), inputs["q"],
+            inputs["nei"], size, self.nei_count, 0.5)
+        return {"fx": fx, "fy": fy, "fz": fz, "fq": fq}

@@ -1,0 +1,188 @@
+"""lud — blocked LU decomposition (the paper's in-depth case study).
+
+Faithful to Rodinia's three-kernel structure: ``lud_diagonal`` factors the
+diagonal tile, ``lud_perimeter`` (2·B threads) updates the row/column
+stripes, and ``lud_internal`` (B×B threads, 2-D grid) updates the trailing
+submatrix with two shared tiles. These are the kernels behind Fig. 14/15
+and Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+B = 16  # tile size, as in Rodinia
+
+SOURCE = r"""
+#define BS 16
+
+__global__ void lud_diagonal(float *m, int n, int offset) {
+    __shared__ float shadow[BS][BS];
+    int tx = threadIdx.x;
+    for (int i = 0; i < BS; i++) {
+        shadow[i][tx] = m[(offset + i) * n + offset + tx];
+    }
+    __syncthreads();
+    for (int i = 0; i < BS - 1; i++) {
+        if (tx > i) {
+            for (int j = 0; j < i; j++) {
+                shadow[tx][i] -= shadow[tx][j] * shadow[j][i];
+            }
+            shadow[tx][i] /= shadow[i][i];
+        }
+        __syncthreads();
+        if (tx > i) {
+            for (int j = 0; j < i + 1; j++) {
+                shadow[i + 1][tx] -= shadow[i + 1][j] * shadow[j][tx];
+            }
+        }
+        __syncthreads();
+    }
+    for (int i = 1; i < BS; i++) {
+        m[(offset + i) * n + offset + tx] = shadow[i][tx];
+    }
+}
+
+__global__ void lud_perimeter(float *m, int n, int offset) {
+    __shared__ float dia[BS][BS];
+    __shared__ float peri_row[BS][BS];
+    __shared__ float peri_col[BS][BS];
+    int tx = threadIdx.x;
+    int bx = blockIdx.x;
+    int idx = 0;
+    if (tx < BS) {
+        idx = tx;
+        for (int i = 0; i < BS / 2; i++) {
+            dia[i][idx] = m[(offset + i) * n + offset + idx];
+        }
+        for (int i = 0; i < BS; i++) {
+            peri_row[i][idx] =
+                m[(offset + i) * n + offset + (bx + 1) * BS + idx];
+        }
+    } else {
+        idx = tx - BS;
+        for (int i = BS / 2; i < BS; i++) {
+            dia[i][idx] = m[(offset + i) * n + offset + idx];
+        }
+        for (int i = 0; i < BS; i++) {
+            peri_col[i][idx] =
+                m[(offset + (bx + 1) * BS + i) * n + offset + idx];
+        }
+    }
+    __syncthreads();
+    if (tx < BS) {
+        idx = tx;
+        for (int i = 1; i < BS; i++) {
+            for (int j = 0; j < i; j++) {
+                peri_row[i][idx] -= dia[i][j] * peri_row[j][idx];
+            }
+        }
+    } else {
+        idx = tx - BS;
+        for (int i = 0; i < BS; i++) {
+            for (int j = 0; j < i; j++) {
+                peri_col[idx][i] -= peri_col[idx][j] * dia[j][i];
+            }
+            peri_col[idx][i] /= dia[i][i];
+        }
+    }
+    __syncthreads();
+    if (tx < BS) {
+        idx = tx;
+        for (int i = 1; i < BS; i++) {
+            m[(offset + i) * n + offset + (bx + 1) * BS + idx] =
+                peri_row[i][idx];
+        }
+    } else {
+        idx = tx - BS;
+        for (int i = 0; i < BS; i++) {
+            m[(offset + (bx + 1) * BS + i) * n + offset + idx] =
+                peri_col[i][idx];
+        }
+    }
+}
+
+__global__ void lud_internal(float *m, int n, int offset) {
+    __shared__ float peri_row[BS][BS];
+    __shared__ float peri_col[BS][BS];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int gx = (blockIdx.x + 1) * BS;
+    int gy = (blockIdx.y + 1) * BS;
+    peri_row[ty][tx] = m[(offset + ty) * n + offset + gx + tx];
+    peri_col[ty][tx] = m[(offset + gy + ty) * n + offset + tx];
+    __syncthreads();
+    float sum = 0.0f;
+    for (int i = 0; i < BS; i++) {
+        sum += peri_col[ty][i] * peri_row[i][tx];
+    }
+    m[(offset + gy + ty) * n + offset + gx + tx] -= sum;
+}
+"""
+
+
+def lu_reference(matrix: np.ndarray) -> np.ndarray:
+    """In-place Doolittle LU without pivoting (Rodinia's lud_base)."""
+    a = matrix.astype(np.float32).copy()
+    n = a.shape[0]
+    for k in range(n):
+        a[k + 1:, k] = (a[k + 1:, k] / a[k, k]).astype(np.float32)
+        a[k + 1:, k + 1:] = (a[k + 1:, k + 1:] -
+                             np.outer(a[k + 1:, k], a[k, k + 1:])
+                             ).astype(np.float32)
+    return a
+
+
+def make_diagonally_dominant(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n), dtype=np.float32)
+    a += np.eye(n, dtype=np.float32) * n  # no pivoting needed
+    return a
+
+
+@register
+class Lud(Benchmark):
+    name = "lud"
+    source = SOURCE
+    verify_size = 64
+    model_size = 8192
+    rtol = 2e-3  # blocked vs straight LU round-off differs slightly
+
+    def build_inputs(self, size: int, seed: int = 0):
+        return {"matrix": make_diagonally_dominant(size, seed)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        tiles = size // B
+        for t in range(tiles):
+            offset = t * B
+            remaining = tiles - t - 1
+            yield ("lud_diagonal", (1,), (B,))
+            if remaining > 0:
+                yield ("lud_perimeter", (remaining,), (2 * B,))
+                yield ("lud_internal", (remaining, remaining), (B, B))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        matrix = runtime.to_device(inputs["matrix"].ravel())
+        tiles = size // B
+        for t in range(tiles):
+            offset = t * B
+            remaining = tiles - t - 1
+            program.launch("lud_diagonal", (1,), (B,),
+                           [matrix, size, offset], runtime=runtime)
+            if remaining > 0:
+                program.launch("lud_perimeter", (remaining,), (2 * B,),
+                               [matrix, size, offset], runtime=runtime)
+                program.launch("lud_internal", (remaining, remaining),
+                               (B, B), [matrix, size, offset],
+                               runtime=runtime)
+        return {"matrix": runtime.to_host(matrix).reshape(size, size)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"matrix": lu_reference(inputs["matrix"])}

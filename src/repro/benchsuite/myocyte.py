@@ -1,0 +1,112 @@
+"""myocyte — cardiac myocyte ODE integration (Rodinia).
+
+One thread per simulation instance, each integrating a small ODE system
+over many sequential steps: extremely compute-bound per thread with
+transcendental math, tiny grids, and no inter-thread communication — the
+opposite corner of the workload space from lud/nw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 32
+STATES = 4
+STEPS = 16
+
+SOURCE = r"""
+#define STATES 4
+#define STEPS 16
+
+__global__ void solver_kernel(float *initial, float *result,
+                              float *params, int instances, float h) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= instances) return;
+
+    float v = initial[i * STATES];
+    float w = initial[i * STATES + 1];
+    float ca = initial[i * STATES + 2];
+    float na = initial[i * STATES + 3];
+    float p0 = params[i * 2];
+    float p1 = params[i * 2 + 1];
+
+    for (int step = 0; step < STEPS; step++) {
+        float dv = p0 * (v - v * v * v / 3.0f - w + p1);
+        float dw = 0.08f * (v + 0.7f - 0.8f * w);
+        float dca = 0.05f * (expf(-ca) - na * 0.1f);
+        float dna = 0.02f * (sinf(v * 0.5f) - na);
+        v = v + h * dv;
+        w = w + h * dw;
+        ca = ca + h * dca;
+        na = na + h * dna;
+    }
+    result[i * STATES] = v;
+    result[i * STATES + 1] = w;
+    result[i * STATES + 2] = ca;
+    result[i * STATES + 3] = na;
+}
+"""
+
+
+def myocyte_reference(initial, params, instances, h):
+    state = initial.astype(np.float32).reshape(instances, STATES).copy()
+    p = params.astype(np.float32).reshape(instances, 2)
+    h = np.float32(h)
+    v = state[:, 0].copy()
+    w = state[:, 1].copy()
+    ca = state[:, 2].copy()
+    na = state[:, 3].copy()
+    f = np.float32
+    for _ in range(STEPS):
+        dv = p[:, 0] * (v - v * v * v / f(3.0) - w + p[:, 1])
+        dw = f(0.08) * (v + f(0.7) - f(0.8) * w)
+        dca = f(0.05) * (np.exp(-ca) - na * f(0.1))
+        dna = f(0.02) * (np.sin(v * f(0.5)) - na)
+        v = (v + h * dv).astype(np.float32)
+        w = (w + h * dw).astype(np.float32)
+        ca = (ca + h * dca).astype(np.float32)
+        na = (na + h * dna).astype(np.float32)
+    out = np.stack([v, w, ca, na], axis=1).astype(np.float32)
+    return out.ravel()
+
+
+@register
+class Myocyte(Benchmark):
+    name = "myocyte"
+    source = SOURCE
+    verify_size = 128     # instances
+    model_size = 8192
+    rtol = 1e-4
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {
+            "initial": (rng.random(size * STATES,
+                                   dtype=np.float32) - 0.5),
+            "params": (rng.random(size * 2, dtype=np.float32) + 0.5),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        yield ("solver_kernel", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // BLOCK)
+        initial = runtime.to_device(inputs["initial"])
+        params = runtime.to_device(inputs["params"])
+        result = runtime.malloc(size * STATES, np.float32)
+        program.launch("solver_kernel", (grid,), (BLOCK,),
+                       [initial, result, params, size, 0.05],
+                       runtime=runtime)
+        return {"result": runtime.to_host(result)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"result": myocyte_reference(inputs["initial"],
+                                            inputs["params"], size, 0.05)}

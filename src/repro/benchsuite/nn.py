@@ -1,0 +1,71 @@
+"""nn — k-nearest-neighbors distance kernel (Rodinia).
+
+A memory-bound streaming kernel: one Euclidean distance per thread; the
+candidate selection runs on the host, as in Rodinia.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 256
+
+SOURCE = r"""
+__global__ void euclid(float *d_locations_lat, float *d_locations_lng,
+                       float *d_distances, int numRecords,
+                       float lat, float lng) {
+    int globalId = blockDim.x * blockIdx.x + threadIdx.x;
+    if (globalId >= numRecords) return;
+    float latDiff = lat - d_locations_lat[globalId];
+    float lngDiff = lng - d_locations_lng[globalId];
+    d_distances[globalId] = sqrtf(latDiff * latDiff + lngDiff * lngDiff);
+}
+"""
+
+
+@register
+class NN(Benchmark):
+    name = "nn"
+    source = SOURCE
+    verify_size = 2048
+    model_size = 1 << 22
+    rtol = 1e-5
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {
+            "lat": (rng.random(size, dtype=np.float32) * 180 - 90),
+            "lng": (rng.random(size, dtype=np.float32) * 360 - 180),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        yield ("euclid", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // BLOCK)
+        lat = runtime.to_device(inputs["lat"])
+        lng = runtime.to_device(inputs["lng"])
+        distances = runtime.malloc(size, np.float32)
+        program.launch("euclid", (grid,), (BLOCK,),
+                       [lat, lng, distances, size, 30.0, -120.0],
+                       runtime=runtime)
+        d = runtime.to_host(distances)
+        # host-side top-10 selection, as in Rodinia
+        nearest = np.argsort(d)[:10]
+        return {"distances": d, "nearest": nearest.astype(np.int64)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        lat_diff = np.float32(30.0) - inputs["lat"]
+        lng_diff = np.float32(-120.0) - inputs["lng"]
+        d = np.sqrt(lat_diff * lat_diff + lng_diff * lng_diff
+                    ).astype(np.float32)
+        nearest = np.argsort(d)[:10]
+        return {"distances": d, "nearest": nearest.astype(np.int64)}

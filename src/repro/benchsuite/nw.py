@@ -1,0 +1,194 @@
+"""nw — Needleman-Wunsch sequence alignment (Rodinia).
+
+The §VII-D2 anomaly: both kernels run 16-thread blocks with 2180 bytes of
+shared memory per block — 136 bytes per thread, an extreme ratio that makes
+the AMD backend offload LDS to global memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+B = 16
+
+SOURCE = r"""
+#define BS 16
+
+__global__ void needle_1(int *reference, int *matrix, int cols,
+                         int penalty, int blk) {
+    __shared__ int temp[BS + 1][BS + 1];
+    __shared__ int sref[BS][BS];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    int b_index_x = bx;
+    int b_index_y = blk - 1 - bx;
+    int base = cols * BS * b_index_y + BS * b_index_x;
+    int index    = base + cols + tx + 1;
+    int index_n  = base + tx + 1;
+    int index_w  = base + cols;
+    int index_nw = base;
+
+    for (int ty = 0; ty < BS; ty++) {
+        sref[ty][tx] = reference[index + cols * ty];
+    }
+    if (tx == 0) {
+        temp[0][0] = matrix[index_nw];
+    }
+    temp[tx + 1][0] = matrix[index_w + cols * tx];
+    temp[0][tx + 1] = matrix[index_n];
+    __syncthreads();
+
+    for (int m = 0; m < BS; m++) {
+        if (tx <= m) {
+            int t_index_x = tx + 1;
+            int t_index_y = m - tx + 1;
+            int v = temp[t_index_y - 1][t_index_x - 1] +
+                    sref[t_index_y - 1][t_index_x - 1];
+            int w = temp[t_index_y][t_index_x - 1] - penalty;
+            int n2 = temp[t_index_y - 1][t_index_x] - penalty;
+            temp[t_index_y][t_index_x] = max(v, max(w, n2));
+        }
+        __syncthreads();
+    }
+    for (int mi = 0; mi < BS - 1; mi++) {
+        int m = BS - 2 - mi;
+        if (tx <= m) {
+            int t_index_x = tx + BS - m;
+            int t_index_y = BS - tx;
+            int v = temp[t_index_y - 1][t_index_x - 1] +
+                    sref[t_index_y - 1][t_index_x - 1];
+            int w = temp[t_index_y][t_index_x - 1] - penalty;
+            int n2 = temp[t_index_y - 1][t_index_x] - penalty;
+            temp[t_index_y][t_index_x] = max(v, max(w, n2));
+        }
+        __syncthreads();
+    }
+    for (int ty = 0; ty < BS; ty++) {
+        matrix[index + ty * cols] = temp[ty + 1][tx + 1];
+    }
+}
+
+__global__ void needle_2(int *reference, int *matrix, int cols,
+                         int penalty, int blk, int block_width) {
+    __shared__ int temp[BS + 1][BS + 1];
+    __shared__ int sref[BS][BS];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+    int b_index_x = bx + block_width - blk;
+    int b_index_y = block_width - bx - 1;
+    int base = cols * BS * b_index_y + BS * b_index_x;
+    int index    = base + cols + tx + 1;
+    int index_n  = base + tx + 1;
+    int index_w  = base + cols;
+    int index_nw = base;
+
+    for (int ty = 0; ty < BS; ty++) {
+        sref[ty][tx] = reference[index + cols * ty];
+    }
+    if (tx == 0) {
+        temp[0][0] = matrix[index_nw];
+    }
+    temp[tx + 1][0] = matrix[index_w + cols * tx];
+    temp[0][tx + 1] = matrix[index_n];
+    __syncthreads();
+
+    for (int m = 0; m < BS; m++) {
+        if (tx <= m) {
+            int t_index_x = tx + 1;
+            int t_index_y = m - tx + 1;
+            int v = temp[t_index_y - 1][t_index_x - 1] +
+                    sref[t_index_y - 1][t_index_x - 1];
+            int w = temp[t_index_y][t_index_x - 1] - penalty;
+            int n2 = temp[t_index_y - 1][t_index_x] - penalty;
+            temp[t_index_y][t_index_x] = max(v, max(w, n2));
+        }
+        __syncthreads();
+    }
+    for (int mi = 0; mi < BS - 1; mi++) {
+        int m = BS - 2 - mi;
+        if (tx <= m) {
+            int t_index_x = tx + BS - m;
+            int t_index_y = BS - tx;
+            int v = temp[t_index_y - 1][t_index_x - 1] +
+                    sref[t_index_y - 1][t_index_x - 1];
+            int w = temp[t_index_y][t_index_x - 1] - penalty;
+            int n2 = temp[t_index_y - 1][t_index_x] - penalty;
+            temp[t_index_y][t_index_x] = max(v, max(w, n2));
+        }
+        __syncthreads();
+    }
+    for (int ty = 0; ty < BS; ty++) {
+        matrix[index + ty * cols] = temp[ty + 1][tx + 1];
+    }
+}
+"""
+
+
+def nw_reference(reference: np.ndarray, matrix: np.ndarray, penalty: int,
+                 rows: int):
+    out = matrix.astype(np.int64).copy().reshape(rows, rows)
+    ref = reference.astype(np.int64).reshape(rows, rows)
+    for i in range(1, rows):
+        for j in range(1, rows):
+            out[i, j] = max(out[i - 1, j - 1] + ref[i, j],
+                            out[i, j - 1] - penalty,
+                            out[i - 1, j] - penalty)
+    return out
+
+
+@register
+class NW(Benchmark):
+    name = "nw"
+    source = SOURCE
+    verify_size = 48   # (48+1 grid => 3 blocks per side)
+    model_size = 2048
+    rtol = 0.0  # integer benchmark: exact
+
+    def _dims(self, size: int):
+        rows = size + 1  # DP matrix is (n+1)^2
+        block_width = size // B
+        return rows, block_width
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        rows, _ = self._dims(size)
+        reference = rng.integers(-10, 10, size=(rows, rows)).astype(np.int64)
+        matrix = np.zeros((rows, rows), dtype=np.int64)
+        penalty = 10
+        matrix[0, :] = -penalty * np.arange(rows)
+        matrix[:, 0] = -penalty * np.arange(rows)
+        return {"reference": reference, "matrix": matrix}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        _, block_width = self._dims(size)
+        for blk in range(1, block_width + 1):
+            yield ("needle_1", (blk,), (B,))
+        for blk in range(block_width - 1, 0, -1):
+            yield ("needle_2", (blk,), (B,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        rows, block_width = self._dims(size)
+        penalty = 10
+        reference = runtime.to_device(inputs["reference"].ravel())
+        matrix = runtime.to_device(inputs["matrix"].ravel())
+        for blk in range(1, block_width + 1):
+            program.launch("needle_1", (blk,), (B,),
+                           [reference, matrix, rows, penalty, blk],
+                           runtime=runtime)
+        for blk in range(block_width - 1, 0, -1):
+            program.launch("needle_2", (blk,), (B,),
+                           [reference, matrix, rows, penalty, blk,
+                            block_width], runtime=runtime)
+        return {"matrix": runtime.to_host(matrix).reshape(rows, rows)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        rows, _ = self._dims(size)
+        return {"matrix": nw_reference(inputs["reference"],
+                                       inputs["matrix"], 10, rows)}

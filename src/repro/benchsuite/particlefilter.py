@@ -1,0 +1,151 @@
+"""particlefilter — sequential Monte Carlo tracker (Rodinia "float" app;
+the arithmetic the paper attributes the AMD advantage to is double).
+
+Three kernels: likelihood (double exp), a partial-sum reduction, and
+normalize + systematic resampling index search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 128
+
+SOURCE = r"""
+#define BS 128
+
+__global__ void likelihood_kernel(double *arrayX, double *arrayY,
+                                  double *objxy, double *likelihood,
+                                  int countOnes, int numParticles) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= numParticles) return;
+    double sum = 0.0;
+    for (int j = 0; j < countOnes; j++) {
+        double dx = arrayX[i] - objxy[j * 2];
+        double dy = arrayY[i] - objxy[j * 2 + 1];
+        sum += dx * dx + dy * dy;
+    }
+    likelihood[i] = exp(-sum / (2.0 * countOnes));
+}
+
+__global__ void sum_kernel(double *weights, double *partial,
+                           int numParticles) {
+    __shared__ double psum[BS];
+    int tx = threadIdx.x;
+    int i = blockDim.x * blockIdx.x + tx;
+    double v = 0.0;
+    if (i < numParticles) {
+        v = weights[i];
+    }
+    psum[tx] = v;
+    __syncthreads();
+    for (int it = 0; it < 7; it++) {
+        int stride = BS >> (it + 1);
+        if (tx < stride) {
+            psum[tx] += psum[tx + stride];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) {
+        partial[blockIdx.x] = psum[0];
+    }
+}
+
+__global__ void normalize_kernel(double *weights, double *likelihood,
+                                 double total, int numParticles) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= numParticles) return;
+    weights[i] = likelihood[i] / total;
+}
+
+__global__ void find_index_kernel(double *cdf, double *u, int *indices,
+                                  int numParticles) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= numParticles) return;
+    int index = numParticles - 1;
+    int found = 0;
+    for (int j = 0; j < numParticles; j++) {
+        if (found == 0 && cdf[j] >= u[i]) {
+            index = j;
+            found = 1;
+        }
+    }
+    indices[i] = index;
+}
+"""
+
+
+@register
+class ParticleFilter(Benchmark):
+    name = "particlefilter"
+    source = SOURCE
+    uses_double = True
+    verify_size = 128   # particles
+    model_size = 1 << 17
+    count_ones = 8
+    rtol = 1e-9
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {
+            "arrayX": rng.random(size) * 10,
+            "arrayY": rng.random(size) * 10,
+            "objxy": rng.random(self.count_ones * 2) * 5,
+            "u": np.sort(rng.random(size)),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        yield ("likelihood_kernel", (grid,), (BLOCK,))
+        yield ("sum_kernel", (grid,), (BLOCK,))
+        yield ("normalize_kernel", (grid,), (BLOCK,))
+        yield ("find_index_kernel", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // BLOCK)
+        ax = runtime.to_device(inputs["arrayX"])
+        ay = runtime.to_device(inputs["arrayY"])
+        objxy = runtime.to_device(inputs["objxy"])
+        likelihood = runtime.malloc(size, np.float64)
+        program.launch("likelihood_kernel", (grid,), (BLOCK,),
+                       [ax, ay, objxy, likelihood, self.count_ones, size],
+                       runtime=runtime)
+        partial = runtime.malloc(grid, np.float64)
+        program.launch("sum_kernel", (grid,), (BLOCK,),
+                       [likelihood, partial, size], runtime=runtime)
+        total = float(runtime.to_host(partial).sum())
+        weights = runtime.malloc(size, np.float64)
+        program.launch("normalize_kernel", (grid,), (BLOCK,),
+                       [weights, likelihood, total, size], runtime=runtime)
+        w = runtime.to_host(weights)
+        cdf = runtime.to_device(np.cumsum(w))
+        u = runtime.to_device(inputs["u"])
+        indices = runtime.malloc(size, np.int64)
+        program.launch("find_index_kernel", (grid,), (BLOCK,),
+                       [cdf, u, indices, size], runtime=runtime)
+        return {"weights": w, "indices": runtime.to_host(indices)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        ax, ay = inputs["arrayX"], inputs["arrayY"]
+        objxy = inputs["objxy"].reshape(-1, 2)
+        dx = ax[:, None] - objxy[None, :, 0]
+        dy = ay[:, None] - objxy[None, :, 1]
+        s = (dx * dx + dy * dy).sum(axis=1)
+        likelihood = np.exp(-s / (2.0 * self.count_ones))
+        total = 0.0
+        # match the GPU's blocked summation order exactly in float64
+        weights = likelihood / likelihood.sum()
+        # tolerate summation-order differences via rtol instead
+        cdf = np.cumsum(weights)
+        indices = np.empty(size, dtype=np.int64)
+        for i, threshold in enumerate(inputs["u"]):
+            hits = np.nonzero(cdf >= threshold)[0]
+            indices[i] = hits[0] if hits.size else size - 1
+        return {"weights": weights, "indices": indices}

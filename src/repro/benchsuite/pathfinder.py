@@ -1,0 +1,133 @@
+"""pathfinder — grid dynamic programming (Rodinia).
+
+256-thread blocks, two shared buffers, and a per-block pyramid of HALO
+iterations with barriers inside a uniform-bound loop — a prime
+unroll-jam-interleave workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 256
+PYRAMID = 2  # rows processed per kernel launch
+
+SOURCE = r"""
+#define BS 256
+
+__global__ void dynproc_kernel(int iteration, int *gpuWall, int *gpuSrc,
+                               int *gpuResults, int cols, int startStep,
+                               int border) {
+    __shared__ int prev[BS];
+    __shared__ int result[BS];
+    int bx = blockIdx.x;
+    int tx = threadIdx.x;
+
+    int small_block_cols = BS - iteration * 2;
+    int blkX = small_block_cols * bx - border;
+    int xidx = blkX + tx;
+
+    int validXmin = 0;
+    int validXmax = BS - 1;
+    if (blkX < 0) {
+        validXmin = -blkX;
+    }
+    if (blkX + BS - 1 > cols - 1) {
+        validXmax = BS - 1 - (blkX + BS - cols);
+    }
+
+    int isValid = 0;
+    if (tx >= validXmin && tx <= validXmax) {
+        isValid = 1;
+    }
+    if (xidx >= 0 && xidx <= cols - 1) {
+        prev[tx] = gpuSrc[xidx];
+    }
+    __syncthreads();
+
+    for (int i = 0; i < iteration; i++) {
+        if (tx >= i + 1 && tx <= BS - i - 2 && isValid == 1) {
+            int left = prev[max(tx - 1, validXmin)];
+            int up = prev[tx];
+            int right = prev[min(tx + 1, validXmax)];
+            int shortest = min(left, min(up, right));
+            int index = cols * (startStep + i) + xidx;
+            result[tx] = shortest + gpuWall[index];
+        }
+        __syncthreads();
+        if (i < iteration - 1) {
+            if (tx >= i + 1 && tx <= BS - i - 2 && isValid == 1) {
+                prev[tx] = result[tx];
+            }
+            __syncthreads();
+        }
+    }
+    if (tx >= iteration && tx <= BS - iteration - 1 && isValid == 1 &&
+        xidx >= 0 && xidx <= cols - 1) {
+        gpuResults[xidx] = result[tx];
+    }
+}
+"""
+
+
+def pathfinder_reference(wall: np.ndarray) -> np.ndarray:
+    rows, cols = wall.shape
+    dst = wall[0].astype(np.int64).copy()
+    for r in range(1, rows):
+        left = np.concatenate([dst[:1], dst[:-1]])
+        right = np.concatenate([dst[1:], dst[-1:]])
+        dst = np.minimum(np.minimum(left, right), dst) + wall[r]
+    return dst
+
+
+@register
+class Pathfinder(Benchmark):
+    name = "pathfinder"
+    source = SOURCE
+    verify_size = 1024   # columns; rows = 1 + steps*PYRAMID
+    model_size = 100000
+    rows_steps = 2
+    model_rows_steps = 50
+    rtol = 0.0
+
+    def _grid(self, cols: int, iteration: int) -> int:
+        small = BLOCK - iteration * 2
+        return -(-cols // small)
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        rows = 1 + self.rows_steps * PYRAMID
+        wall = rng.integers(0, 10, size=(rows, size)).astype(np.int64)
+        return {"wall": wall}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = self._grid(size, PYRAMID)
+        for _ in range(self.model_rows_steps):
+            yield ("dynproc_kernel", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        wall = inputs["wall"]
+        rows = wall.shape[0]
+        gpu_wall = runtime.to_device(wall[1:].ravel())
+        src = runtime.to_device(wall[0])
+        dst = runtime.malloc(size, np.int64)
+        start = 0
+        while start < rows - 1:
+            iteration = min(PYRAMID, rows - 1 - start)
+            grid = self._grid(size, iteration)
+            program.launch("dynproc_kernel", (grid,), (BLOCK,),
+                           [iteration, gpu_wall, src, dst, size, start,
+                            iteration], runtime=runtime)
+            src, dst = dst, src
+            start += iteration
+        return {"dst": runtime.to_host(src)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"dst": pathfinder_reference(inputs["wall"])}

@@ -1,0 +1,203 @@
+"""srad_v1 — speckle-reducing anisotropic diffusion (Rodinia).
+
+Includes the shared-memory tree ``reduce`` kernel whose address-computation
+order caused the clang-vs-Polygeist register-allocation difference the
+paper analyzes in §VII-C, plus the two diffusion kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 256
+
+SOURCE = r"""
+#define BS 256
+
+__global__ void extract(int ne, float *image) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= ne) return;
+    image[i] = expf(image[i] / 255.0f);
+}
+
+__global__ void reduce(int ne, float *input, float *sums, float *sums2) {
+    __shared__ float psum[BS];
+    __shared__ float psum2[BS];
+    int tx = threadIdx.x;
+    int i = blockIdx.x * blockDim.x + tx;
+    float value = 0.0f;
+    if (i < ne) {
+        value = input[i];
+    }
+    psum[tx] = value;
+    psum2[tx] = value * value;
+    __syncthreads();
+    for (int it = 0; it < 8; it++) {
+        int stride = BS >> (it + 1);
+        if (tx < stride) {
+            psum[tx] += psum[tx + stride];
+            psum2[tx] += psum2[tx + stride];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) {
+        sums[blockIdx.x] = psum[0];
+        sums2[blockIdx.x] = psum2[0];
+    }
+}
+
+__global__ void srad(int nr, int nc, float q0sqr, float *image,
+                     float *dN, float *dS, float *dW, float *dE,
+                     float *c) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= nr * nc) return;
+    int row = i / nc;
+    int col = i % nc;
+    int rn = max(row - 1, 0);
+    int rs = min(row + 1, nr - 1);
+    int cw = max(col - 1, 0);
+    int ce = min(col + 1, nc - 1);
+    float jc = image[row * nc + col];
+    float n = image[rn * nc + col] - jc;
+    float s = image[rs * nc + col] - jc;
+    float w = image[row * nc + cw] - jc;
+    float e = image[row * nc + ce] - jc;
+    float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+    float l = (n + s + w + e) / jc;
+    float num = (0.5f * g2) - ((1.0f / 16.0f) * (l * l));
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+    float diff = 1.0f / (1.0f + den);
+    if (diff < 0.0f) {
+        diff = 0.0f;
+    }
+    if (diff > 1.0f) {
+        diff = 1.0f;
+    }
+    dN[i] = n;
+    dS[i] = s;
+    dW[i] = w;
+    dE[i] = e;
+    c[i] = diff;
+}
+
+__global__ void srad2(int nr, int nc, float lambda, float *image,
+                      float *dN, float *dS, float *dW, float *dE,
+                      float *c) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= nr * nc) return;
+    int row = i / nc;
+    int col = i % nc;
+    int rs = min(row + 1, nr - 1);
+    int ce = min(col + 1, nc - 1);
+    float cN = c[i];
+    float cS = c[rs * nc + col];
+    float cW = c[i];
+    float cE = c[row * nc + ce];
+    float d = cN * dN[i] + cS * dS[i] + cW * dW[i] + cE * dE[i];
+    image[i] = image[i] + 0.25f * lambda * d;
+}
+"""
+
+
+def srad_reference(image: np.ndarray, nr: int, nc: int, lam: float,
+                   iterations: int) -> np.ndarray:
+    img = np.exp(image.astype(np.float32) / np.float32(255.0)
+                 ).astype(np.float32).reshape(nr, nc)
+    for _ in range(iterations):
+        total = np.float32(img.sum(dtype=np.float64))
+        total2 = np.float32((img.astype(np.float64) ** 2).sum())
+        ne = nr * nc
+        mean = total / ne
+        var = (total2 / ne) - mean * mean
+        q0sqr = var / (mean * mean)
+
+        jc = img
+        rn = np.vstack([img[:1], img[:-1]])
+        rs = np.vstack([img[1:], img[-1:]])
+        cw = np.hstack([img[:, :1], img[:, :-1]])
+        ce = np.hstack([img[:, 1:], img[:, -1:]])
+        n = rn - jc
+        s = rs - jc
+        w = cw - jc
+        e = ce - jc
+        g2 = (n * n + s * s + w * w + e * e) / (jc * jc)
+        l = (n + s + w + e) / jc
+        num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
+        den = 1.0 + 0.25 * l
+        qsqr = num / (den * den)
+        den = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr))
+        diff = np.clip(1.0 / (1.0 + den), 0.0, 1.0).astype(np.float32)
+
+        cS = np.vstack([diff[1:], diff[-1:]])
+        cE = np.hstack([diff[:, 1:], diff[:, -1:]])
+        d = diff * n + cS * s + diff * w + cE * e
+        img = (img + 0.25 * lam * d).astype(np.float32)
+    return img.ravel()
+
+
+@register
+class SradV1(Benchmark):
+    name = "srad_v1"
+    source = SOURCE
+    verify_size = 32   # 32x32 image
+    model_size = 1024
+    iterations = 1
+    model_iterations = 20
+    rtol = 5e-3  # reduction order differs between CPU and GPU
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {"image": (rng.random((size, size), dtype=np.float32) * 255)}
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        ne = size * size
+        grid = -(-ne // BLOCK)
+        yield ("extract", (grid,), (BLOCK,))
+        for _ in range(self.model_iterations):
+            yield ("reduce", (grid,), (BLOCK,))
+            yield ("srad", (grid,), (BLOCK,))
+            yield ("srad2", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        nr = nc = size
+        ne = nr * nc
+        lam = 0.5
+        grid = -(-ne // BLOCK)
+        image = runtime.to_device(inputs["image"].ravel())
+        sums = runtime.malloc(grid, np.float32)
+        sums2 = runtime.malloc(grid, np.float32)
+        dN = runtime.malloc(ne, np.float32)
+        dS = runtime.malloc(ne, np.float32)
+        dW = runtime.malloc(ne, np.float32)
+        dE = runtime.malloc(ne, np.float32)
+        c = runtime.malloc(ne, np.float32)
+        program.launch("extract", (grid,), (BLOCK,), [ne, image],
+                       runtime=runtime)
+        for _ in range(self.iterations):
+            program.launch("reduce", (grid,), (BLOCK,),
+                           [ne, image, sums, sums2], runtime=runtime)
+            total = float(runtime.to_host(sums).sum(dtype=np.float64))
+            total2 = float(runtime.to_host(sums2).sum(dtype=np.float64))
+            mean = total / ne
+            var = (total2 / ne) - mean * mean
+            q0sqr = var / (mean * mean)
+            program.launch("srad", (grid,), (BLOCK,),
+                           [nr, nc, q0sqr, image, dN, dS, dW, dE, c],
+                           runtime=runtime)
+            program.launch("srad2", (grid,), (BLOCK,),
+                           [nr, nc, lam, image, dN, dS, dW, dE, c],
+                           runtime=runtime)
+        return {"image": runtime.to_host(image)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        return {"image": srad_reference(inputs["image"].ravel(), size,
+                                        size, 0.5, self.iterations)}

@@ -1,0 +1,88 @@
+"""streamcluster — online clustering gain computation (Rodinia/PARSEC).
+
+The ``compute_cost`` kernel evaluates, for every point, the cost delta of
+opening a candidate center: a dimension loop over global memory plus an
+atomic accumulation of the total gain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..pipeline import Program
+from ..runtime import GPURuntime
+from .base import Benchmark, Launch, register
+
+BLOCK = 256
+DIMS = 8
+
+SOURCE = r"""
+#define DIMS 8
+
+__global__ void compute_cost(float *coords, float *center, float *weights,
+                             float *costs, float *gain, int num_points) {
+    int i = blockDim.x * blockIdx.x + threadIdx.x;
+    if (i >= num_points) return;
+    float dist = 0.0f;
+    for (int d = 0; d < DIMS; d++) {
+        float diff = coords[i * DIMS + d] - center[d];
+        dist += diff * diff;
+    }
+    float new_cost = dist * weights[i];
+    float delta = new_cost - costs[i];
+    if (delta < 0.0f) {
+        costs[i] = new_cost;
+        atomicAdd(&gain[0], delta);
+    }
+}
+"""
+
+
+@register
+class StreamCluster(Benchmark):
+    name = "streamcluster"
+    source = SOURCE
+    verify_size = 1024
+    model_size = 1 << 20
+    rtol = 1e-2  # atomic accumulation order differs from numpy's sum
+
+    def build_inputs(self, size: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return {
+            "coords": rng.random(size * DIMS, dtype=np.float32),
+            "center": rng.random(DIMS, dtype=np.float32),
+            "weights": (rng.random(size, dtype=np.float32) + 0.5),
+            "costs": (rng.random(size, dtype=np.float32) * 2),
+        }
+
+    def iter_launches(self, size: int) -> Iterator[Launch]:
+        grid = -(-size // BLOCK)
+        yield ("compute_cost", (grid,), (BLOCK,))
+
+    def run_gpu(self, program: Program, runtime: GPURuntime,
+                inputs: Dict[str, np.ndarray], size: int):
+        grid = -(-size // BLOCK)
+        coords = runtime.to_device(inputs["coords"])
+        center = runtime.to_device(inputs["center"])
+        weights = runtime.to_device(inputs["weights"])
+        costs = runtime.to_device(inputs["costs"])
+        gain = runtime.malloc(1, np.float32)
+        program.launch("compute_cost", (grid,), (BLOCK,),
+                       [coords, center, weights, costs, gain, size],
+                       runtime=runtime)
+        return {"costs": runtime.to_host(costs),
+                "gain": runtime.to_host(gain)}
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], size: int):
+        coords = inputs["coords"].reshape(size, DIMS)
+        diff = coords - inputs["center"][None, :]
+        dist = (diff * diff).sum(axis=1, dtype=np.float32)
+        new_cost = (dist * inputs["weights"]).astype(np.float32)
+        delta = new_cost - inputs["costs"]
+        improved = delta < 0
+        costs = np.where(improved, new_cost, inputs["costs"])
+        gain = np.array([delta[improved].sum(dtype=np.float32)],
+                        dtype=np.float32)
+        return {"costs": costs, "gain": gain}

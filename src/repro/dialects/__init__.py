@@ -1,0 +1,24 @@
+"""Dialect definitions: op names, builder helpers, and verifiers.
+
+Each submodule mirrors an MLIR dialect used by Polygeist-GPU:
+
+* :mod:`~repro.dialects.arith` — integer/float arithmetic and comparisons;
+* :mod:`~repro.dialects.math` — transcendental functions;
+* :mod:`~repro.dialects.memref` — memory allocation and access;
+* :mod:`~repro.dialects.scf` — structured control flow, incl. multi-dim
+  ``scf.parallel``;
+* :mod:`~repro.dialects.func` — functions and calls;
+* :mod:`~repro.dialects.polygeist` — GPU wrapper regions, barriers and
+  alternative code paths (the paper's custom ops);
+* :mod:`~repro.dialects.gpu` — outlined kernels and launches.
+"""
+
+from . import arith, func, gpu, math, memref, polygeist, scf  # noqa: F401
+from .effects import (is_allocation, is_pure, is_terminator, has_side_effects,
+                      reads_memory, writes_memory)
+
+__all__ = [
+    "arith", "func", "gpu", "math", "memref", "polygeist", "scf",
+    "is_allocation", "is_pure", "is_terminator", "has_side_effects",
+    "reads_memory", "writes_memory",
+]

@@ -1,0 +1,98 @@
+"""Side-effect summaries for every op, used by CSE/DCE/LICM and legality
+checks in the coarsening transformations."""
+
+from __future__ import annotations
+
+from ..ir import Operation
+
+#: ops with no side effects whose results depend only on operands
+_PURE = {
+    "arith.constant", "arith.select", "arith.cmpi", "arith.cmpf",
+    "memref.dim", "memref.get_global",
+}
+
+_READ = {"memref.load"}
+_WRITE = {"memref.store"}
+_READ_WRITE = {"memref.atomic_rmw"}
+_ALLOC = {"memref.alloc", "memref.alloca"}
+_TERMINATORS = {"scf.yield", "scf.condition", "func.return",
+                "gpu.module_end"}
+#: ops that order execution across threads; never reordered or duplicated
+_SYNC = {"polygeist.barrier"}
+
+
+def _pure_by_name(name: str) -> bool:
+    if name in _PURE:
+        return True
+    dialect = name.split(".", 1)[0]
+    if dialect == "math":
+        return True
+    if dialect == "arith":
+        # all arith computation ops are pure; covered by prefix
+        return True
+    return False
+
+
+def is_pure(op: Operation) -> bool:
+    """True if the op can be duplicated, reordered, or removed when unused."""
+    if op.regions:
+        return False
+    if op.name in (_READ | _WRITE | _READ_WRITE | _ALLOC | _SYNC |
+                   _TERMINATORS | {"func.call", "gpu.launch_func"}):
+        return False
+    return _pure_by_name(op.name)
+
+
+def reads_memory(op: Operation) -> bool:
+    if op.name in _READ or op.name in _READ_WRITE:
+        return True
+    if op.regions:
+        return _any_nested(op, reads_memory)
+    return op.name in {"func.call", "gpu.launch_func"}
+
+
+def writes_memory(op: Operation) -> bool:
+    if op.name in _WRITE or op.name in _READ_WRITE:
+        return True
+    if op.regions:
+        return _any_nested(op, writes_memory)
+    return op.name in {"func.call", "gpu.launch_func"}
+
+
+def is_allocation(op: Operation) -> bool:
+    return op.name in _ALLOC
+
+
+def is_terminator(op: Operation) -> bool:
+    return op.name in _TERMINATORS
+
+
+def is_sync(op: Operation) -> bool:
+    if op.name in _SYNC:
+        return True
+    if op.regions:
+        return _any_nested(op, is_sync)
+    return False
+
+
+def has_side_effects(op: Operation) -> bool:
+    """True if removing the op (when its results are unused) is unsound."""
+    if op.name in _TERMINATORS:
+        return True
+    if op.name in _WRITE or op.name in _READ_WRITE or op.name in _SYNC:
+        return True
+    if op.name in {"func.call", "gpu.launch_func", "memref.dealloc"}:
+        return True
+    if op.regions:
+        return _any_nested(op, has_side_effects)
+    # Loads are removable when unused, allocations when unused.
+    return False
+
+
+def _any_nested(op: Operation, predicate) -> bool:
+    for region in op.regions:
+        for block in region.blocks:
+            for child in block.ops:
+                if predicate(child):
+                    return True
+    return False

@@ -1,0 +1,47 @@
+"""The ``math`` dialect: transcendental and other libm-style functions."""
+
+from __future__ import annotations
+
+from ..ir import Builder, Value
+
+#: unary math ops (float -> same float)
+UNARY = {
+    "math.sqrt", "math.rsqrt", "math.exp", "math.log", "math.sin",
+    "math.cos", "math.tan", "math.atan", "math.tanh", "math.absf",
+    "math.floor", "math.ceil", "math.exp2", "math.log2", "math.log10",
+}
+
+#: binary math ops
+BINARY = {"math.powf", "math.atan2", "math.fmod"}
+
+
+def unary(builder: Builder, name: str, value: Value) -> Value:
+    if name not in UNARY:
+        raise ValueError("unknown math unary op %r" % name)
+    return builder.create(name, [value], [value.type]).result()
+
+
+def binary(builder: Builder, name: str, lhs: Value, rhs: Value) -> Value:
+    if name not in BINARY:
+        raise ValueError("unknown math binary op %r" % name)
+    return builder.create(name, [lhs, rhs], [lhs.type]).result()
+
+
+def sqrt(builder: Builder, value: Value) -> Value:
+    return unary(builder, "math.sqrt", value)
+
+
+def exp(builder: Builder, value: Value) -> Value:
+    return unary(builder, "math.exp", value)
+
+
+def log(builder: Builder, value: Value) -> Value:
+    return unary(builder, "math.log", value)
+
+
+def absf(builder: Builder, value: Value) -> Value:
+    return unary(builder, "math.absf", value)
+
+
+def powf(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return binary(builder, "math.powf", lhs, rhs)

@@ -1,0 +1,20 @@
+"""CUDA-C-subset frontend (the Polygeist analog).
+
+Pipeline: :mod:`preprocessor` (``#define`` expansion) → :mod:`lexer` →
+:mod:`cparser` (AST) → :mod:`codegen` (IR with codegen-time SSA
+construction). Kernel launches — from host code or from the Python runtime —
+are *inlined* into the host IR as ``polygeist.gpu_wrapper`` regions holding
+nested ``scf.parallel`` loops, exactly as in Fig. 5 of the paper.
+"""
+
+from .c_ast import FunctionDef, TranslationUnit
+from .codegen import CodegenError, ModuleGenerator
+from .cparser import CParseError, parse_translation_unit
+from .lexer import LexError, tokenize
+from .preprocessor import preprocess
+
+__all__ = [
+    "CParseError", "CodegenError", "FunctionDef", "LexError",
+    "ModuleGenerator", "TranslationUnit", "parse_translation_unit",
+    "preprocess", "tokenize",
+]

@@ -1,0 +1,15 @@
+"""Functional execution of the IR over numpy buffers.
+
+The interpreter gives the reproduction its ground truth: every benchmark and
+every transformed kernel variant is executed here and compared against a CPU
+reference, mirroring the paper's correctness methodology (§VII-A). It is also
+the engine behind the simulator's trace fidelity: an optional
+:class:`Tracer` observes every memory access and barrier.
+"""
+
+from .memory import MemoryBuffer, Tracer
+from .interp import (ConvergenceError, InterpreterError, Interpreter,
+                     run_module)
+
+__all__ = ["ConvergenceError", "Interpreter", "InterpreterError",
+           "MemoryBuffer", "Tracer", "run_module"]

@@ -1,0 +1,80 @@
+"""Insertion-point based IR builder, mirroring MLIR's ``OpBuilder``."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence
+
+from .core import Block, Operation, Region, Value
+from .types import Type
+
+
+class Builder:
+    """Creates operations at a movable insertion point.
+
+    The insertion point is a ``(block, index)`` pair; newly inserted ops go
+    before ``index`` and advance it, so consecutive ``insert`` calls emit ops
+    in program order.
+    """
+
+    def __init__(self, block: Optional[Block] = None,
+                 index: Optional[int] = None):
+        self.block = block
+        self.index = len(block.ops) if (block is not None and index is None) \
+            else (index or 0)
+
+    # -- insertion point management ----------------------------------------
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self.block = block
+        self.index = len(block.ops)
+
+    def set_insertion_point_to_start(self, block: Block) -> None:
+        self.block = block
+        self.index = 0
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        assert op.parent is not None
+        self.block = op.parent
+        self.index = op.parent.index_of(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        assert op.parent is not None
+        self.block = op.parent
+        self.index = op.parent.index_of(op) + 1
+
+    @contextmanager
+    def at_end(self, block: Block):
+        """Temporarily move the insertion point to the end of ``block``."""
+        saved = (self.block, self.index)
+        self.set_insertion_point_to_end(block)
+        try:
+            yield self
+        finally:
+            self.block, self.index = saved
+
+    @contextmanager
+    def at_start(self, block: Block):
+        saved = (self.block, self.index)
+        self.set_insertion_point_to_start(block)
+        try:
+            yield self
+        finally:
+            self.block, self.index = saved
+
+    # -- op creation ----------------------------------------------------------
+
+    def insert(self, op: Operation) -> Operation:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        self.block.insert(self.index, op)
+        self.index += 1
+        return op
+
+    def create(self, name: str,
+               operands: Sequence[Value] = (),
+               result_types: Sequence[Type] = (),
+               attributes: Optional[Dict[str, object]] = None,
+               regions: Sequence[Region] = ()) -> Operation:
+        return self.insert(Operation(name, operands, result_types,
+                                     attributes, regions))

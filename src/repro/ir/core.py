@@ -1,0 +1,388 @@
+"""Core IR data structures: values, operations, blocks, and regions.
+
+This is a deliberately small re-implementation of the MLIR object model that
+Polygeist-GPU is built on:
+
+* :class:`Value` — an SSA value, either an :class:`OpResult` or a
+  :class:`BlockArgument` (e.g. a parallel-loop induction variable).
+* :class:`Operation` — a generic operation identified by a dialect-qualified
+  name (``"scf.parallel"``, ``"polygeist.barrier"``, ...), with operands,
+  results, an attribute dictionary, and nested regions.
+* :class:`Block` / :class:`Region` — structured nesting. All ops used in this
+  project are *structured* (no branch terminators between blocks), so regions
+  hold a single block almost everywhere.
+
+Use-def chains are explicit: every value knows its uses, and operand mutation
+goes through :meth:`Operation.set_operand` so the chains stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .types import Type
+
+
+class Value:
+    """An SSA value with a type and explicit use list."""
+
+    def __init__(self, type_: Type, name_hint: str = ""):
+        self.type = type_
+        self.name_hint = name_hint
+        #: list of (operation, operand_index) pairs referencing this value
+        self.uses: List["Use"] = []
+
+    @property
+    def users(self) -> List["Operation"]:
+        """Operations that use this value (with duplicates removed, in order)."""
+        seen = []
+        for use in self.uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Rewrite every use of ``self`` to use ``other`` instead."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.owner.set_operand(use.index, other)
+
+    def replace_uses_if(self, other: "Value",
+                        predicate: Callable[["Operation"], bool]) -> None:
+        """Replace uses whose owning operation satisfies ``predicate``."""
+        for use in list(self.uses):
+            if predicate(use.owner):
+                use.owner.set_operand(use.index, other)
+
+    def __repr__(self) -> str:
+        hint = self.name_hint or "v"
+        return "<%s %%%s: %s>" % (type(self).__name__, hint, self.type)
+
+
+class Use:
+    """A single operand slot referencing a value."""
+
+    __slots__ = ("owner", "index")
+
+    def __init__(self, owner: "Operation", index: int):
+        self.owner = owner
+        self.index = index
+
+
+class OpResult(Value):
+    """A value produced by an operation."""
+
+    def __init__(self, owner: "Operation", index: int, type_: Type,
+                 name_hint: str = ""):
+        super().__init__(type_, name_hint)
+        self.owner = owner
+        self.index = index
+
+
+class BlockArgument(Value):
+    """A value introduced by a block (e.g. a loop induction variable)."""
+
+    def __init__(self, owner: "Block", index: int, type_: Type,
+                 name_hint: str = ""):
+        super().__init__(type_, name_hint)
+        self.owner = owner
+        self.index = index
+
+
+class Operation:
+    """A generic operation.
+
+    Operations are created through :meth:`create` (or the dialect helper
+    functions) and inserted into blocks via :class:`~repro.ir.builder.Builder`
+    or :meth:`Block.append`.
+    """
+
+    def __init__(self, name: str,
+                 operands: Sequence[Value] = (),
+                 result_types: Sequence[Type] = (),
+                 attributes: Optional[Dict[str, object]] = None,
+                 regions: Sequence["Region"] = ()):
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.parent: Optional[Block] = None
+        self._operands: List[Value] = []
+        self.results: List[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.regions: List[Region] = []
+        for region in regions:
+            self.add_region(region)
+        for value in operands:
+            self._append_operand(value)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, name: str,
+               operands: Sequence[Value] = (),
+               result_types: Sequence[Type] = (),
+               attributes: Optional[Dict[str, object]] = None,
+               regions: Sequence["Region"] = ()) -> "Operation":
+        return cls(name, operands, result_types, attributes, regions)
+
+    def add_region(self, region: "Region") -> "Region":
+        region.parent = self
+        self.regions.append(region)
+        return region
+
+    # -- operands ----------------------------------------------------------
+
+    @property
+    def operands(self) -> List[Value]:
+        """A copy of the operand list (mutate via :meth:`set_operand`)."""
+        return list(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index]
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def _append_operand(self, value: Value) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.uses.append(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        for use in old.uses:
+            if use.owner is self and use.index == index:
+                old.uses.remove(use)
+                break
+        self._operands[index] = value
+        value.uses.append(Use(self, index))
+
+    def replace_operands(self, mapping: Dict[Value, Value]) -> None:
+        """Replace any operand found in ``mapping`` with its image."""
+        for i, operand in enumerate(self._operands):
+            if operand in mapping:
+                self.set_operand(i, mapping[operand])
+
+    def drop_all_operand_uses(self) -> None:
+        for i, operand in enumerate(self._operands):
+            operand.uses = [
+                u for u in operand.uses
+                if not (u.owner is self and u.index == i)
+            ]
+        self._operands = []
+
+    # -- results -----------------------------------------------------------
+
+    def result(self, index: int = 0) -> OpResult:
+        return self.results[index]
+
+    @property
+    def num_results(self) -> int:
+        return len(self.results)
+
+    # -- attributes ----------------------------------------------------------
+
+    def attr(self, name: str, default=None):
+        return self.attributes.get(name, default)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is not None and self.parent.parent is not None:
+            return self.parent.parent.parent
+        return None
+
+    def ancestors(self) -> Iterator["Operation"]:
+        op = self.parent_op
+        while op is not None:
+            yield op
+            op = op.parent_op
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        """True if ``other`` is nested (transitively) inside ``self``."""
+        return any(a is self for a in other.ancestors())
+
+    def region(self, index: int = 0) -> "Region":
+        return self.regions[index]
+
+    def body_block(self, region_index: int = 0) -> "Block":
+        """The single block of the given region (structured ops)."""
+        return self.regions[region_index].blocks[0]
+
+    # -- mutation ------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Remove from the parent block without touching uses."""
+        if self.parent is not None:
+            self.parent.ops.remove(self)
+            self.parent = None
+
+    def erase(self) -> None:
+        """Detach and drop all operand uses. Results must be unused."""
+        for result in self.results:
+            if result.has_uses():
+                raise ValueError(
+                    "erasing %s whose result still has uses" % self.name)
+        self.walk(lambda op: op.drop_all_operand_uses(), include_self=False)
+        self.drop_all_operand_uses()
+        self.detach()
+
+    def replace_all_uses_with(self, values: Sequence[Value]) -> None:
+        if len(values) != len(self.results):
+            raise ValueError("result count mismatch in replacement")
+        for result, value in zip(self.results, values):
+            result.replace_all_uses_with(value)
+
+    # -- traversal -------------------------------------------------------------
+
+    def walk(self, callback: Callable[["Operation"], None],
+             include_self: bool = True) -> None:
+        """Post-order walk over this op and everything nested inside it."""
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.walk(callback)
+        if include_self:
+            callback(self)
+
+    def walk_preorder(self, callback: Callable[["Operation"], None],
+                      include_self: bool = True) -> None:
+        if include_self:
+            callback(self)
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.walk_preorder(callback)
+
+    def ops_matching(self, name: str) -> List["Operation"]:
+        """All nested ops (including self) with the given name."""
+        found: List[Operation] = []
+        self.walk_preorder(lambda op: found.append(op) if op.name == name
+                           else None)
+        return found
+
+    # -- cloning -----------------------------------------------------------------
+
+    def clone(self, value_map: Optional[Dict[Value, Value]] = None
+              ) -> "Operation":
+        """Deep-copy this operation.
+
+        ``value_map`` maps values defined *outside* the clone to replacements;
+        it is updated with the results and nested block arguments of the clone
+        so callers can chain clones.
+        """
+        if value_map is None:
+            value_map = {}
+        operands = [value_map.get(v, v) for v in self._operands]
+        new_op = Operation(self.name, operands,
+                           [r.type for r in self.results],
+                           dict(self.attributes))
+        for old_res, new_res in zip(self.results, new_op.results):
+            new_res.name_hint = old_res.name_hint
+            value_map[old_res] = new_res
+        for region in self.regions:
+            new_region = Region()
+            new_op.add_region(new_region)
+            for block in region.blocks:
+                new_block = Block(
+                    arg_types=[a.type for a in block.args],
+                    arg_names=[a.name_hint for a in block.args])
+                new_region.add_block(new_block)
+                for old_arg, new_arg in zip(block.args, new_block.args):
+                    value_map[old_arg] = new_arg
+                for op in block.ops:
+                    new_block.append(op.clone(value_map))
+        return new_op
+
+    def __repr__(self) -> str:
+        return "<Operation %s>" % self.name
+
+
+class Block:
+    """A sequence of operations with block arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = (),
+                 arg_names: Sequence[str] = ()):
+        self.parent: Optional[Region] = None
+        self.ops: List[Operation] = []
+        names = list(arg_names) + [""] * (len(arg_types) - len(arg_names))
+        self.args: List[BlockArgument] = [
+            BlockArgument(self, i, t, names[i])
+            for i, t in enumerate(arg_types)
+        ]
+
+    def arg(self, index: int) -> BlockArgument:
+        return self.args[index]
+
+    def add_argument(self, type_: Type, name_hint: str = "") -> BlockArgument:
+        arg = BlockArgument(self, len(self.args), type_, name_hint)
+        self.args.append(arg)
+        return arg
+
+    def append(self, op: Operation) -> Operation:
+        op.parent = self
+        self.ops.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        op.parent = self
+        self.ops.insert(index, op)
+        return op
+
+    def index_of(self, op: Operation) -> int:
+        for i, candidate in enumerate(self.ops):
+            if candidate is op:
+                return i
+        raise ValueError("operation not in block")
+
+    @property
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return "<Block with %d ops>" % len(self.ops)
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    def __init__(self, blocks: Iterable[Block] = ()):
+        self.parent: Optional[Operation] = None
+        self.blocks: List[Block] = []
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: Block) -> Block:
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        return "<Region with %d blocks>" % len(self.blocks)
+
+
+def single_block_region(arg_types: Sequence[Type] = (),
+                        arg_names: Sequence[str] = ()) -> Region:
+    """Convenience: a region holding one fresh block."""
+    region = Region()
+    region.add_block(Block(arg_types, arg_names))
+    return region

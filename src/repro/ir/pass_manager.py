@@ -1,0 +1,55 @@
+"""Pass infrastructure: a pass base class and a sequential pass manager."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .module import Module
+from .verifier import verify_module
+
+
+class Pass:
+    """Base class for module-level transformation passes."""
+
+    #: Human-readable pass name; defaults to the class name.
+    name: str = ""
+
+    def run(self, module: Module) -> bool:
+        """Transform ``module`` in place; return True if anything changed."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.name or type(self).__name__
+
+
+class PassManager:
+    """Runs a sequence of passes, optionally verifying after each."""
+
+    def __init__(self, passes: Iterable[Pass] = (), verify: bool = True):
+        self.passes: List[Pass] = list(passes)
+        self.verify = verify
+        #: names of the passes that reported a change during the last run
+        self.changed_passes: List[str] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        self.changed_passes = []
+        changed_any = False
+        for pass_ in self.passes:
+            changed = pass_.run(module)
+            if changed:
+                changed_any = True
+                self.changed_passes.append(str(pass_))
+            if self.verify:
+                verify_module(module)
+        return changed_any
+
+    def run_until_fixpoint(self, module: Module, max_iterations: int = 16
+                           ) -> None:
+        """Re-run the pipeline until no pass reports a change."""
+        for _ in range(max_iterations):
+            if not self.run(module):
+                return

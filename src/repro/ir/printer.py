@@ -1,0 +1,115 @@
+"""Textual printer for the IR (generic op form, MLIR-flavoured).
+
+The printed form round-trips through :mod:`repro.ir.parser`:
+
+.. code-block:: text
+
+    %c0 = "arith.constant"() {value = 0} : () -> (index)
+    "scf.parallel"(%c0, %n, %c1) {gpu.kind = "blocks"} : (index, index, index) -> () ({
+    ^(%b: index):
+      ...
+    })
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .core import Block, Operation, Region, Value
+from .module import Module
+from .types import Type
+
+
+class _NameTable:
+    """Assigns unique printable names to SSA values."""
+
+    def __init__(self):
+        self._names: Dict[Value, str] = {}
+        self._used: Dict[str, int] = {}
+
+    def name(self, value: Value) -> str:
+        if value not in self._names:
+            base = value.name_hint or "v"
+            count = self._used.get(base, 0)
+            self._used[base] = count + 1
+            self._names[value] = base if count == 0 else "%s_%d" % (base, count)
+        return "%" + self._names[value]
+
+
+def format_attr(value: object) -> str:
+    """Render an attribute value in the restricted attribute grammar."""
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return '"%s"' % value.replace("\\", "\\\\").replace('"', '\\"')
+    if isinstance(value, (list, tuple)):
+        return "[%s]" % ", ".join(format_attr(v) for v in value)
+    if isinstance(value, Type):
+        return "!%s" % value
+    raise TypeError("unprintable attribute %r" % (value,))
+
+
+def _format_attrs(attributes: Dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    parts = ["%s = %s" % (k, format_attr(v))
+             for k, v in sorted(attributes.items())]
+    return " {%s}" % ", ".join(parts)
+
+
+class Printer:
+    def __init__(self):
+        self.names = _NameTable()
+        self.lines: List[str] = []
+
+    def print_op(self, op: Operation, indent: int) -> None:
+        pad = "  " * indent
+        results = ", ".join(self.names.name(r) for r in op.results)
+        prefix = "%s = " % results if op.results else ""
+        operands = ", ".join(self.names.name(o) for o in op.operands)
+        in_types = ", ".join(str(o.type) for o in op.operands)
+        out_types = ", ".join(str(r.type) for r in op.results)
+        line = '%s%s"%s"(%s)%s : (%s) -> (%s)' % (
+            pad, prefix, op.name, operands, _format_attrs(op.attributes),
+            in_types, out_types)
+        if not op.regions:
+            self.lines.append(line)
+            return
+        self.lines.append(line + " (")
+        for i, region in enumerate(op.regions):
+            self.print_region(region, indent + 1)
+            if i + 1 < len(op.regions):
+                self.lines[-1] += ","
+        self.lines.append(pad + ")")
+
+    def print_region(self, region: Region, indent: int) -> None:
+        pad = "  " * indent
+        self.lines.append(pad + "{")
+        for block in region.blocks:
+            self.print_block(block, indent + 1)
+        self.lines.append(pad + "}")
+
+    def print_block(self, block: Block, indent: int) -> None:
+        pad = "  " * indent
+        if block.args:
+            args = ", ".join("%s: %s" % (self.names.name(a), a.type)
+                             for a in block.args)
+            self.lines.append("%s^(%s):" % (pad, args))
+        for op in block.ops:
+            self.print_op(op, indent)
+
+
+def print_op(op: Operation) -> str:
+    printer = Printer()
+    printer.print_op(op, 0)
+    return "\n".join(printer.lines)
+
+
+def print_module(module: Module) -> str:
+    return print_op(module.op)

@@ -1,0 +1,134 @@
+"""Type system for the mini-MLIR IR.
+
+Types are immutable value objects: two structurally identical types compare
+equal and hash equally, so they can be freely shared and used as dict keys.
+The set of types mirrors what Polygeist-GPU needs to represent CUDA kernels:
+integers, floats, ``index`` (loop induction arithmetic), memrefs with a
+memory space (global / shared / local), and function types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Marker for a dynamic dimension in a memref shape (mirrors MLIR's ``?``).
+DYNAMIC = -1
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntegerType(Type):
+    """An integer type of a fixed bit width, e.g. ``i1``, ``i32``, ``i64``."""
+
+    width: int
+
+    def __str__(self) -> str:
+        return "i%d" % self.width
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """A floating point type: ``f32`` or ``f64``."""
+
+    width: int
+
+    def __str__(self) -> str:
+        return "f%d" % self.width
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """The platform index type used for loop bounds and subscripts."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class MemRefType(Type):
+    """A reference to a shaped memory buffer.
+
+    ``shape`` entries are extents, with :data:`DYNAMIC` for unknown sizes.
+    ``memory_space`` distinguishes GPU address spaces; it is central to this
+    reproduction because block coarsening duplicates *shared* allocations
+    while leaving global memory untouched.
+    """
+
+    shape: Tuple[int, ...]
+    element: Type
+    memory_space: str = "global"
+
+    def __str__(self) -> str:
+        dims = "x".join("?" if d == DYNAMIC else str(d) for d in self.shape)
+        prefix = dims + "x" if self.shape else ""
+        if self.memory_space == "global":
+            return "memref<%s%s>" % (prefix, self.element)
+        return "memref<%s%s, %s>" % (prefix, self.element, self.memory_space)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(d != DYNAMIC for d in self.shape)
+
+    def num_elements(self) -> int:
+        """Total element count; requires a fully static shape."""
+        if not self.has_static_shape:
+            raise ValueError("num_elements() on dynamic shape %s" % self)
+        total = 1
+        for d in self.shape:
+            total *= d
+        return total
+
+    def size_bytes(self) -> int:
+        """Total byte size; requires a static shape and a sized element."""
+        return self.num_elements() * byte_width(self.element)
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """The type of a function: inputs -> results."""
+
+    inputs: Tuple[Type, ...] = field(default_factory=tuple)
+    results: Tuple[Type, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        return "(%s) -> (%s)" % (ins, outs)
+
+
+# Commonly used singleton-ish instances.
+I1 = IntegerType(1)
+I8 = IntegerType(8)
+I16 = IntegerType(16)
+I32 = IntegerType(32)
+I64 = IntegerType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+INDEX = IndexType()
+
+
+def byte_width(type_: Type) -> int:
+    """Size in bytes of a scalar type as stored in memory."""
+    if isinstance(type_, IntegerType):
+        return max(1, type_.width // 8)
+    if isinstance(type_, FloatType):
+        return type_.width // 8
+    if isinstance(type_, IndexType):
+        return 8
+    raise ValueError("type %s has no byte width" % type_)
+
+
+def is_scalar(type_: Type) -> bool:
+    """True for types that fit in a register."""
+    return isinstance(type_, (IntegerType, FloatType, IndexType))

@@ -1,0 +1,120 @@
+"""Structural IR verifier.
+
+Checks the invariants every transform relies on:
+
+* parent links of blocks/regions/ops are consistent;
+* use-def chains are consistent (every operand slot is registered in the
+  value's use list and vice versa);
+* SSA dominance for structured IR: an operand must be defined earlier in the
+  same block or in a lexically enclosing block (region values are not visible
+  outside their region);
+* dialect-specific invariants registered through :func:`register_op_verifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from .core import Block, BlockArgument, OpResult, Operation, Value
+from .module import Module
+
+
+class VerificationError(ValueError):
+    pass
+
+
+_OP_VERIFIERS: Dict[str, Callable[[Operation], None]] = {}
+
+
+def register_op_verifier(name: str):
+    """Decorator registering a per-op verifier for ops named ``name``."""
+    def wrap(fn: Callable[[Operation], None]):
+        _OP_VERIFIERS[name] = fn
+        return fn
+    return wrap
+
+
+def _fail(op: Operation, message: str) -> None:
+    raise VerificationError("%s: %s" % (op.name, message))
+
+
+#: ops that terminate a block; they may only appear in the last position
+_TERMINATOR_NAMES = {"scf.yield", "scf.condition", "func.return",
+                     "gpu.module_end"}
+
+
+def _check_terminators(op: Operation) -> None:
+    for region in op.regions:
+        for block in region.blocks:
+            for child in block.ops[:-1]:
+                if child.name in _TERMINATOR_NAMES:
+                    _fail(child, "terminator in the middle of a block")
+
+
+def _check_use_def(op: Operation) -> None:
+    for i, operand in enumerate(op.operands):
+        if not any(u.owner is op and u.index == i for u in operand.uses):
+            _fail(op, "operand %d missing from use list of %r" % (i, operand))
+    for result in op.results:
+        for use in result.uses:
+            if use.owner.operand(use.index) is not result:
+                _fail(op, "stale use record on result")
+
+
+def _visible_values(op: Operation) -> Set[Value]:
+    """Values visible at ``op``: defined earlier in its block or enclosing."""
+    visible: Set[Value] = set()
+    block: Optional[Block] = op.parent
+    current: Operation = op
+    while block is not None:
+        visible.update(block.args)
+        for candidate in block.ops:
+            if candidate is current:
+                break
+            visible.update(candidate.results)
+        parent_op = block.parent_op
+        if parent_op is None:
+            break
+        current = parent_op
+        block = parent_op.parent
+    return visible
+
+
+def verify_op(op: Operation, check_dominance: bool = True) -> None:
+    """Verify one operation and everything nested in it."""
+    for region in op.regions:
+        if region.parent is not op:
+            _fail(op, "region parent link broken")
+        for block in region.blocks:
+            if block.parent is not region:
+                _fail(op, "block parent link broken")
+            for arg in block.args:
+                if arg.owner is not block:
+                    _fail(op, "block argument owner link broken")
+            for child in block.ops:
+                if child.parent is not block:
+                    _fail(child, "op parent link broken")
+    _check_use_def(op)
+    _check_terminators(op)
+    if check_dominance and op.parent is not None:
+        visible = _visible_values(op)
+        for i, operand in enumerate(op.operands):
+            if operand not in visible:
+                _fail(op, "operand %d (%r) does not dominate use" %
+                      (i, operand))
+    verifier = _OP_VERIFIERS.get(op.name)
+    if verifier is not None:
+        try:
+            verifier(op)
+        except VerificationError:
+            raise
+        except ValueError as error:
+            raise VerificationError("%s: %s" % (op.name, error)) from error
+    for region in op.regions:
+        for block in region.blocks:
+            for child in block.ops:
+                verify_op(child, check_dominance)
+
+
+def verify_module(module: Module) -> None:
+    verify_op(module.op)

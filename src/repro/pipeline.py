@@ -1,0 +1,408 @@
+"""End-to-end compilation pipeline: CUDA source → tuned, runnable Program.
+
+This is the user-facing equivalent of the paper's Polygeist-GPU driver
+(Fig. 4): parse CUDA, build the host+device parallel IR, clean it up,
+multi-version each kernel with coarsening alternatives, prune by shared
+memory and register pressure, select by timing-driven optimization for the
+actual launch geometry, and execute on the simulated GPU.
+
+Optimization tiers mirror the Fig. 16 comparison:
+
+* ``tier="clang"``               — baseline: no parallel-aware optimization;
+* ``tier="polygeist-noopt"``     — Polygeist's pre-existing optimizations
+  (shared-memory LICM, barrier elimination) but no coarsening;
+* ``tier="polygeist"``           — full pipeline with coarsening + TDO;
+* ``tier="polygeist-heuristic"`` — coarsening chosen by the static
+  heuristic (§VIII-A future work) instead of TDO.
+
+:meth:`Program.profile_launch` additionally provides the paper's Fig. 12
+profiling mode, where every surviving alternative is *executed* and timed
+before the winner is compiled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .autotune import default_configs, tune_wrapper
+from .autotune.tdo import TuneOutcome
+from .dialects import polygeist
+from .frontend import ModuleGenerator, parse_translation_unit
+from .interpreter import Interpreter, MemoryBuffer
+from .ir import FloatType, IndexType, IntegerType, MemRefType
+from .runtime import DeviceBuffer, GPURuntime
+from .simulator.model import InvalidLaunch
+from .targets import A100, GPUArchitecture
+from .transforms import run_cleanup
+
+TIERS = ("clang", "polygeist-noopt", "polygeist", "polygeist-heuristic")
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one :meth:`Program.launch`."""
+
+    kernel: str
+    grid: Tuple[int, ...]
+    block: Tuple[int, ...]
+    kernel_seconds: float
+    tuning: Optional[TuneOutcome] = None
+
+
+class Program:
+    """A compiled CUDA program bound to a target architecture."""
+
+    def __init__(self, source: str, arch: GPUArchitecture = A100,
+                 tier: str = "polygeist",
+                 autotune_configs: Optional[Sequence[Dict]] = None,
+                 defines: Optional[Dict[str, object]] = None):
+        if tier not in TIERS:
+            raise ValueError("tier must be one of %s" % (TIERS,))
+        self.arch = arch
+        self.tier = tier
+        self.autotune_configs = list(autotune_configs) \
+            if autotune_configs is not None else default_configs()
+        self.unit = parse_translation_unit(source, defines)
+        self.generator = ModuleGenerator(self.unit)
+        self.module = self.generator.module
+        self._interpreter = Interpreter(self.module)
+        self._cleaned: Set[str] = set()
+        self._tuned: Set[str] = set()
+        self.tuning_outcomes: Dict[str, TuneOutcome] = {}
+
+    # -- kernel launches ---------------------------------------------------------
+
+    def launch(self, kernel: str, grid, block, args: Sequence[object],
+               runtime: Optional[GPURuntime] = None) -> LaunchResult:
+        """Launch ``kernel`` over ``grid`` × ``block`` with ``args``.
+
+        Executes functionally on the simulated device and charges modeled
+        kernel time to ``runtime`` (one is created on the fly if omitted).
+        """
+        grid = _as_dims(grid)
+        block = _as_dims(block)
+        if runtime is None:
+            runtime = GPURuntime(self.arch)
+        wrapper_name = self.generator.get_launch_wrapper(
+            kernel, len(grid), block)
+        if wrapper_name not in self._cleaned:
+            run_cleanup(self.module,
+                        parallel_optimizations=(self.tier != "clang"))
+            self._cleaned.add(wrapper_name)
+        tuning = None
+        if self.tier == "polygeist" and wrapper_name not in self._tuned:
+            tuning = self._tune(wrapper_name, grid)
+        elif self.tier == "polygeist-heuristic" and \
+                wrapper_name not in self._tuned:
+            self._tune_heuristic(wrapper_name)
+        coerced, writeback = self._coerce_args(wrapper_name, grid, args)
+        saved_tracer = self._interpreter.tracer
+        self._interpreter.tracer = runtime.tracer
+        before = runtime.kernel_seconds
+        try:
+            self._interpreter.run_func(wrapper_name, coerced)
+        finally:
+            self._interpreter.tracer = saved_tracer
+        for array, buffer in writeback:
+            array[...] = buffer.array.reshape(array.shape)
+        return LaunchResult(kernel, grid, block,
+                            runtime.kernel_seconds - before,
+                            tuning or self.tuning_outcomes.get(wrapper_name))
+
+    def profile_launch(self, kernel: str, grid, block,
+                       args: Sequence[object],
+                       runtime: Optional[GPURuntime] = None,
+                       runs_per_alternative: int = 1) -> LaunchResult:
+        """The paper's profiling mode (§VI, Fig. 12), end to end.
+
+        Instead of ranking alternatives analytically, the surviving
+        alternatives are kept in the IR with dispatch logic (the
+        ``polygeist.alternatives`` op), each one is *executed* on the
+        simulated device and timed, and the fastest is then selected into
+        place — exactly the "execute each alternative one or more times,
+        select the best, call the compiler again to remove the others"
+        flow. Subsequent :meth:`launch` calls run the winner.
+        """
+        from .autotune.filters import run_filters
+        from .autotune.tdo import Candidate, TuneOutcome
+        from .transforms import generate_coarsening_alternatives
+        from .transforms.alternatives import select_alternative
+
+        grid = _as_dims(grid)
+        block = _as_dims(block)
+        if runtime is None:
+            runtime = GPURuntime(self.arch)
+        wrapper_name = self.generator.get_launch_wrapper(
+            kernel, len(grid), block)
+        if wrapper_name not in self._cleaned:
+            run_cleanup(self.module, parallel_optimizations=True)
+            self._cleaned.add(wrapper_name)
+        f = self.module.func(wrapper_name)
+        if wrapper_name not in self._tuned:
+            self._tuned.add(wrapper_name)
+            wrappers = polygeist.find_gpu_wrappers(f)
+            if wrappers:
+                report = generate_coarsening_alternatives(
+                    wrappers[0], self.autotune_configs)
+                if report.op is not None:
+                    run_cleanup(self.module, parallel_optimizations=True)
+                    run_filters(report.op, self.arch)
+                    coerced, _ = self._coerce_args(wrapper_name, grid, args)
+                    # snapshot device state: profiling runs are discarded
+                    snapshots = [(value, np.array(value.array))
+                                 for value in coerced
+                                 if isinstance(value, MemoryBuffer)]
+                    descs = list(report.op.attr("alternatives.descs"))
+                    candidates = []
+                    saved_tracer = self._interpreter.tracer
+                    saved_selector = self._interpreter.alternative_selector
+                    try:
+                        for index in range(len(report.op.regions)):
+                            self._interpreter.alternative_selector = \
+                                _fixed_selector(index)
+                            probe = GPURuntime(self.arch)
+                            self._interpreter.tracer = probe.tracer
+                            for _ in range(runs_per_alternative):
+                                self._interpreter.run_func(
+                                    wrapper_name, list(coerced))
+                            for buffer, snapshot in snapshots:
+                                buffer.array[...] = snapshot
+                            candidates.append(Candidate(
+                                index, descs[index],
+                                probe.kernel_seconds /
+                                runs_per_alternative, True))
+                    finally:
+                        self._interpreter.tracer = saved_tracer
+                        self._interpreter.alternative_selector = \
+                            saved_selector
+                    best = min(candidates, key=lambda c: c.time_seconds)
+                    select_alternative(report.op, best.index)
+                    run_cleanup(self.module, parallel_optimizations=True)
+                    self.tuning_outcomes[wrapper_name] = TuneOutcome(
+                        best.desc, best.time_seconds, candidates)
+        return self.launch(kernel, grid, block, args, runtime=runtime)
+
+    def tune_aggregate(self, kernel: str, block, grids) -> None:
+        """Tune a kernel's wrapper over a whole set of launch geometries.
+
+        This is the paper's profiling mode: alternatives are ranked by
+        their time summed over every launch of the application (important
+        when grids shrink across launches, as in gaussian).
+        """
+        block = _as_dims(block)
+        grids = [_as_dims(g) for g in grids]
+        if not grids:
+            return
+        wrapper_name = self.generator.get_launch_wrapper(
+            kernel, len(grids[0]), block)
+        if wrapper_name not in self._cleaned:
+            run_cleanup(self.module,
+                        parallel_optimizations=(self.tier != "clang"))
+            self._cleaned.add(wrapper_name)
+        if self.tier != "polygeist" or wrapper_name in self._tuned:
+            return
+        f = self.module.func(wrapper_name)
+        wrappers = polygeist.find_gpu_wrappers(f)
+        self._tuned.add(wrapper_name)
+        if not wrappers:
+            return
+        grid_args = f.body_block().args[:len(grids[0])]
+        envs = [dict(zip(grid_args, grid)) for grid in grids]
+        try:
+            outcome = tune_wrapper(wrappers[0], self.arch, envs,
+                                   self.autotune_configs)
+        except (ValueError, InvalidLaunch):
+            return
+        run_cleanup(self.module, parallel_optimizations=True)
+        self.tuning_outcomes[wrapper_name] = outcome
+
+    def model_launch(self, kernel: str, grid, block,
+                     runtime: Optional[GPURuntime] = None):
+        """Model a launch analytically without executing it.
+
+        Used for paper-scale problem sizes where functional interpretation
+        would be too slow; tunes on first use exactly like :meth:`launch`
+        and returns a :class:`~repro.simulator.model.LaunchTiming`.
+        """
+        from .simulator.model import model_wrapper_launch
+        grid = _as_dims(grid)
+        block = _as_dims(block)
+        wrapper_name = self.generator.get_launch_wrapper(
+            kernel, len(grid), block)
+        if wrapper_name not in self._cleaned:
+            run_cleanup(self.module,
+                        parallel_optimizations=(self.tier != "clang"))
+            self._cleaned.add(wrapper_name)
+        if self.tier == "polygeist" and wrapper_name not in self._tuned:
+            self._tune(wrapper_name, grid)
+        elif self.tier == "polygeist-heuristic" and \
+                wrapper_name not in self._tuned:
+            self._tune_heuristic(wrapper_name)
+        f = self.module.func(wrapper_name)
+        wrappers = polygeist.find_gpu_wrappers(f)
+        if not wrappers:
+            raise InvalidLaunch("no GPU wrapper in %s" % wrapper_name)
+        env = dict(zip(f.body_block().args[:len(grid)], grid))
+        if not hasattr(self, "_model_cache"):
+            self._model_cache = {}
+        timing = model_wrapper_launch(wrappers[0], self.arch, env,
+                                      self._model_cache)
+        if runtime is not None:
+            runtime.tracer.kernel_seconds += timing.time_seconds
+        return timing
+
+    def _tune_heuristic(self, wrapper_name: str) -> None:
+        """Apply the static heuristic (SVIII-A future work) in place."""
+        from .autotune import heuristic_tune
+        self._tuned.add(wrapper_name)
+        f = self.module.func(wrapper_name)
+        wrappers = polygeist.find_gpu_wrappers(f)
+        if not wrappers:
+            return
+        choice = heuristic_tune(wrappers[0], self.arch)
+        run_cleanup(self.module, parallel_optimizations=True)
+        self.heuristic_choices = getattr(self, "heuristic_choices", {})
+        self.heuristic_choices[wrapper_name] = choice
+
+    def _tune(self, wrapper_name: str, grid: Tuple[int, ...]
+              ) -> Optional[TuneOutcome]:
+        f = self.module.func(wrapper_name)
+        wrappers = polygeist.find_gpu_wrappers(f)
+        self._tuned.add(wrapper_name)
+        if not wrappers:
+            return None
+        env = dict(zip(f.body_block().args[:len(grid)], grid))
+        try:
+            outcome = tune_wrapper(wrappers[0], self.arch, env,
+                                   self.autotune_configs)
+        except (ValueError, InvalidLaunch):
+            return None  # keep the untransformed kernel
+        run_cleanup(self.module,
+                    parallel_optimizations=True)
+        self.tuning_outcomes[wrapper_name] = outcome
+        return outcome
+
+    def _coerce_args(self, wrapper_name: str, grid: Tuple[int, ...],
+                     args: Sequence[object]):
+        f = self.module.func(wrapper_name)
+        params = f.body_block().args
+        expected = len(params) - len(grid)
+        if len(args) != expected:
+            raise TypeError("%s expects %d kernel arguments, got %d" %
+                            (wrapper_name, expected, len(args)))
+        coerced: List[object] = list(grid)
+        writeback: List[Tuple[np.ndarray, MemoryBuffer]] = []
+        for param, value in zip(params[len(grid):], args):
+            type_ = param.type
+            if isinstance(type_, MemRefType):
+                if isinstance(value, DeviceBuffer):
+                    coerced.append(value.buffer)
+                elif isinstance(value, MemoryBuffer):
+                    coerced.append(value)
+                elif isinstance(value, np.ndarray):
+                    buffer = MemoryBuffer(value.shape,
+                                          _element_for(value.dtype),
+                                          "global", data=value)
+                    writeback.append((value, buffer))
+                    coerced.append(buffer)
+                else:
+                    raise TypeError("expected a buffer for %r" %
+                                    param.name_hint)
+            elif isinstance(type_, FloatType):
+                coerced.append(np.float32(value) if type_.width == 32
+                               else np.float64(value))
+            elif isinstance(type_, (IndexType, IntegerType)):
+                coerced.append(int(value))
+            else:
+                coerced.append(value)
+        return coerced, writeback
+
+    # -- host-driven execution ---------------------------------------------------
+
+    def run_host(self, func_name: str, args: Sequence[object],
+                 runtime: Optional[GPURuntime] = None) -> List[object]:
+        """Run a host C function (with its inlined launches) end to end.
+
+        Host-driven flows have data-dependent grids, so coarsening with TDO
+        is skipped; the cleanup tier still applies.
+        """
+        if runtime is None:
+            runtime = GPURuntime(self.arch)
+        if func_name not in self._cleaned:
+            if not self.module.has_func(func_name):
+                self.generator.emit_host_function(func_name)
+            run_cleanup(self.module,
+                        parallel_optimizations=(self.tier != "clang"))
+            self._cleaned.add(func_name)
+        coerced: List[object] = []
+        writeback: List[Tuple[np.ndarray, MemoryBuffer]] = []
+        f = self.module.func(func_name)
+        for param, value in zip(f.body_block().args, args):
+            type_ = param.type
+            if isinstance(type_, MemRefType):
+                if isinstance(value, DeviceBuffer):
+                    coerced.append(value.buffer)
+                elif isinstance(value, MemoryBuffer):
+                    coerced.append(value)
+                elif isinstance(value, np.ndarray):
+                    buffer = MemoryBuffer(value.shape,
+                                          _element_for(value.dtype),
+                                          "global", data=value)
+                    writeback.append((value, buffer))
+                    coerced.append(buffer)
+                else:
+                    raise TypeError("expected a buffer argument")
+            elif isinstance(type_, FloatType):
+                coerced.append(np.float32(value) if type_.width == 32
+                               else np.float64(value))
+            else:
+                coerced.append(int(value))
+        saved = self._interpreter.tracer
+        self._interpreter.tracer = runtime.tracer
+        try:
+            results = self._interpreter.run_func(func_name, coerced)
+        finally:
+            self._interpreter.tracer = saved
+        for array, buffer in writeback:
+            array[...] = buffer.array.reshape(array.shape)
+        return results
+
+    def kernels(self) -> List[str]:
+        return [f.name for f in self.unit.kernels()]
+
+
+def _fixed_selector(index: int):
+    """An alternative_selector that always picks region ``index``."""
+    def select(op):
+        return min(index, len(op.regions) - 1)
+    return select
+
+
+def _as_dims(value) -> Tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,)
+    dims = tuple(int(v) for v in value)
+    if not 1 <= len(dims) <= 3:
+        raise ValueError("grid/block must have 1 to 3 dimensions")
+    return dims
+
+
+def _element_for(dtype):
+    from .ir import F32, F64, INDEX
+    dtype = np.dtype(dtype)
+    if dtype == np.float32:
+        return F32
+    if dtype == np.float64:
+        return F64
+    if dtype in (np.dtype(np.int32), np.dtype(np.int64)):
+        return INDEX
+    raise TypeError("unsupported array dtype %s" % dtype)
+
+
+def compile_cuda(source: str, arch: Optional[GPUArchitecture] = None,
+                 **kwargs) -> Program:
+    """Compile CUDA source text into a :class:`Program`."""
+    return Program(source, arch=arch or A100, **kwargs)

@@ -1,0 +1,6 @@
+"""Simulated GPU runtime: device buffers, transfers, and composite timing."""
+
+from .device import DeviceBuffer
+from .gpu_runtime import GPURuntime, LaunchRecord, TimingTracer
+
+__all__ = ["DeviceBuffer", "GPURuntime", "LaunchRecord", "TimingTracer"]

@@ -1,0 +1,203 @@
+"""Static coalescing analysis (§II-A2, Fig. 11 of the paper).
+
+For every global-memory access in a thread body, compute the affine stride
+of its flattened address with respect to ``threadIdx.x`` and derive how many
+memory transactions one warp's execution of the access needs. Thread
+coarsening with the coalescing-friendly ``iv + k·new_ub`` indexing keeps
+stride 1 for every copy; naive ``iv·f + k`` indexing would double the
+stride — the distinction at the heart of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.affine import AffineForm, affine_of
+from ..analysis.uniformity import depends_on_values
+from ..dialects import arith, memref as memref_d, scf
+from ..ir import Block, MemRefType, Operation, Value, byte_width
+
+
+@dataclass
+class GlobalAccess:
+    """One static global-memory access site."""
+
+    op: Operation
+    is_store: bool
+    element_bytes: int
+    #: executions per thread (loop trip products; 0.5 per enclosing if)
+    executions: float
+    #: elements stepped per +1 of threadIdx.x (None = unknown/irregular)
+    stride_x: Optional[int]
+    #: memory transactions one warp needs per execution
+    transactions_per_warp: float
+    #: useful bytes / transferred bytes
+    efficiency: float
+
+
+def _flat_affine(op: Operation) -> Optional[AffineForm]:
+    ref = memref_d.load_op_ref(op)
+    type_ = ref.type
+    if not isinstance(type_, MemRefType):
+        return None
+    # row-major strides only need the non-outermost extents to be static
+    if any(extent < 0 for extent in type_.shape[1:]):
+        return None
+    strides: List[int] = []
+    stride = 1
+    for extent in reversed(type_.shape):
+        strides.append(stride)
+        stride *= max(extent, 1)
+    strides.reverse()
+    form = AffineForm(0)
+    for scale, index in zip(strides, memref_d.access_indices(op)):
+        form = form.add(affine_of(index).scaled(scale))
+    return form
+
+
+def _stride_of(form: AffineForm, tid_x: Value) -> Optional[int]:
+    coeff = form.coefficient(tid_x)
+    for sym in form.terms:
+        if sym is tid_x:
+            continue
+        if depends_on_values(sym, {tid_x}):
+            return None
+    return coeff
+
+
+def transactions_for_stride(stride_elements: Optional[int],
+                            element_bytes: int, warp_size: int,
+                            transaction_bytes: int = 32) -> float:
+    """Transactions per warp access for a given per-lane stride."""
+    if stride_elements is None:
+        return float(warp_size)  # fully scattered
+    stride_bytes = abs(stride_elements) * element_bytes
+    if stride_bytes == 0:
+        return 1.0  # broadcast
+    if stride_bytes >= transaction_bytes:
+        return float(warp_size)
+    total_span = warp_size * stride_bytes
+    return max(1.0, total_span / transaction_bytes)
+
+
+def bank_conflict_factor(stride_elements: Optional[int],
+                         element_bytes: int,
+                         banks: int = 32) -> float:
+    """Serialized passes one warp's shared access needs (bank conflicts).
+
+    With 4-byte banks, lanes hitting word stride ``s`` spread over
+    ``banks / gcd(s, banks)`` distinct banks, so the access serializes into
+    ``gcd(s, banks)`` passes. Stride 0 is a broadcast (one pass).
+    """
+    import math
+    if stride_elements is None:
+        return float(banks) / 4.0  # scattered: partial conflicts
+    word_stride = abs(stride_elements) * max(1, element_bytes // 4)
+    if word_stride == 0:
+        return 1.0
+    return float(math.gcd(word_stride, banks))
+
+
+def analyze_shared_conflicts(thread_parallel: Operation,
+                             banks: int = 32,
+                             symbolic_trips: float = 16.0) -> float:
+    """Execution-weighted average bank-conflict factor over all shared
+    accesses of a thread body (1.0 = conflict free)."""
+    tid_x = thread_parallel.body_block().arg(0)
+    total_weight = 0.0
+    weighted = 0.0
+
+    def visit(block: Block, factor: float) -> None:
+        nonlocal total_weight, weighted
+        for op in block.ops:
+            name = op.name
+            if name == "scf.for":
+                lb = arith.constant_value(op.operand(0))
+                ub = arith.constant_value(op.operand(1))
+                step = arith.constant_value(op.operand(2))
+                trips = symbolic_trips if None in (lb, ub, step) or \
+                    step <= 0 else max(0.0, (ub - lb + step - 1) // step)
+                visit(op.body_block(), factor * trips)
+            elif name == "scf.if":
+                visit(op.body_block(0), factor * 0.5)
+                visit(op.body_block(1), factor * 0.5)
+            elif name in ("scf.while",):
+                visit(op.body_block(0), factor * symbolic_trips)
+                visit(op.body_block(1), factor * symbolic_trips)
+            elif name in ("scf.parallel", "polygeist.alternatives"):
+                visit(op.body_block(), factor)
+            elif name in ("memref.load", "memref.store"):
+                ref = memref_d.load_op_ref(op)
+                if not isinstance(ref.type, MemRefType) or \
+                        ref.type.memory_space != "shared":
+                    continue
+                element_bytes = byte_width(ref.type.element)
+                form = _flat_affine(op)
+                stride = None if form is None else _stride_of(form, tid_x)
+                conflict = bank_conflict_factor(stride, element_bytes,
+                                                banks)
+                weighted += factor * conflict
+                total_weight += factor
+
+    visit(thread_parallel.body_block(), 1.0)
+    return weighted / total_weight if total_weight else 1.0
+
+
+def analyze_coalescing(thread_parallel: Operation,
+                       warp_size: int,
+                       transaction_bytes: int = 32,
+                       symbolic_trips: float = 16.0) -> List[GlobalAccess]:
+    """Analyze every global access reachable from a thread loop body."""
+    tid_x = thread_parallel.body_block().arg(0)
+    accesses: List[GlobalAccess] = []
+
+    def visit(block: Block, factor: float) -> None:
+        for op in block.ops:
+            name = op.name
+            if name == "scf.for":
+                lb = arith.constant_value(op.operand(0))
+                ub = arith.constant_value(op.operand(1))
+                step = arith.constant_value(op.operand(2))
+                if None in (lb, ub, step) or step <= 0:
+                    trips = symbolic_trips
+                else:
+                    trips = max(0.0, (ub - lb + step - 1) // step)
+                visit(op.body_block(), factor * trips)
+            elif name == "scf.while":
+                visit(op.body_block(0), factor * symbolic_trips)
+                visit(op.body_block(1), factor * symbolic_trips)
+            elif name == "scf.if":
+                visit(op.body_block(0), factor * 0.5)
+                visit(op.body_block(1), factor * 0.5)
+            elif name == "scf.parallel":
+                visit(op.body_block(), factor)
+            elif name == "polygeist.alternatives":
+                visit(op.body_block(0), factor)
+            elif name in ("memref.load", "memref.store",
+                          "memref.atomic_rmw"):
+                ref = memref_d.load_op_ref(op)
+                if not isinstance(ref.type, MemRefType):
+                    continue
+                space = ref.type.memory_space
+                if space not in ("global", "constant"):
+                    continue
+                element_bytes = byte_width(ref.type.element)
+                form = _flat_affine(op)
+                stride = None if form is None else _stride_of(form, tid_x)
+                transactions = transactions_for_stride(
+                    stride, element_bytes, warp_size, transaction_bytes)
+                useful = warp_size * element_bytes
+                efficiency = min(1.0, useful /
+                                 (transactions * transaction_bytes))
+                accesses.append(GlobalAccess(
+                    op=op,
+                    is_store=(name == "memref.store"),
+                    element_bytes=element_bytes,
+                    executions=factor,
+                    stride_x=stride,
+                    transactions_per_warp=transactions,
+                    efficiency=efficiency))
+
+    visit(thread_parallel.body_block(), 1.0)
+    return accesses

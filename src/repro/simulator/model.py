@@ -1,0 +1,436 @@
+"""Analytical GPU kernel timing model.
+
+Combines the first-order quantities through which the paper's coarsening
+transformations act on performance:
+
+* **occupancy** (registers/thread × threads/block × shared/block vs the SM's
+  resources, §II-A3) determines how many warps are active per SM;
+* **memory-level parallelism**: coarsening interleaves ``f`` independent
+  copies of each statement, multiplying the outstanding loads per warp. By
+  Little's law the achieved DRAM bandwidth is
+  ``min(peak, inflight_bytes / latency)`` — this is the mechanism by which
+  coarsening compensates reduced occupancy (§II-A3 "balancing per-thread
+  workload and occupancy");
+* **coalescing efficiency** of every global access (Fig. 11);
+* **sub-warp waste**: blocks whose thread count is not a warp multiple
+  leave SIMD lanes idle (the lud thread-factor ≥ 16 cliff of Fig. 14, the
+  gaussian block-size-16 pathology of §VII-C);
+* **shared-memory throughput**, with the AMD LDS→global offload quirk
+  (§VII-D2, the nw anomaly);
+* **FP64 throughput ratio** (§VII-D2: f64-heavy benchmarks favor RX6800);
+* **divergence** (§VI "kernel statistics": branches hurt);
+* a fixed **launch overhead** per kernel, visible in composite timings.
+
+Absolute seconds are not meant to match the paper's hardware; the *shape*
+of comparisons (which configuration wins, where cliffs fall) is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis import kernel_statistics, shared_bytes_per_block
+from ..analysis.uniformity import depends_on_values
+from ..dialects import arith, scf
+from ..ir import Operation, Value
+from ..targets import (GPUArchitecture, Occupancy, compute_occupancy,
+                       estimate_registers)
+from .coalescing import analyze_coalescing, analyze_shared_conflicts
+from .metrics import KernelMetrics
+
+#: seconds of fixed overhead per kernel launch
+LAUNCH_OVERHEAD = 5e-6
+#: DRAM latency in cycles
+DRAM_LATENCY_CYCLES = 400.0
+#: shared-memory latency in cycles
+SHARED_LATENCY_CYCLES = 25.0
+#: baseline outstanding memory requests per warp (before coarsening)
+BASE_MLP = 2.0
+#: baseline instruction-level parallelism per thread
+BASE_ILP = 1.5
+#: warps needed per scheduler to hide arithmetic latency
+COMPUTE_LATENCY_WARPS = 8.0
+#: bytes per shared-memory bank access
+SHARED_BANK_BYTES = 4
+#: fraction of non-dominant pipeline work that fails to overlap with the
+#: dominant one (issue-slot and LSU contention)
+OVERLAP_LEAK = 0.25
+
+
+class InvalidLaunch(ValueError):
+    """The kernel cannot launch on this architecture at all."""
+
+
+@dataclass
+class LaunchTiming:
+    """Modeled execution of one block-level parallel loop."""
+
+    time_seconds: float
+    occupancy: Occupancy
+    metrics: KernelMetrics
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+
+def _coarsen_totals(parallel: Operation) -> int:
+    total = 1
+    for entry in parallel.attr("coarsen.history", []):
+        total *= int(entry.rsplit("x", 1)[1])
+    return total
+
+
+def _thread_extents(thread_parallel: Operation) -> List[int]:
+    extents = []
+    for lb, ub in zip(scf.parallel_lower_bounds(thread_parallel),
+                      scf.parallel_upper_bounds(thread_parallel)):
+        lb_const = arith.constant_value(lb) or 0
+        ub_const = arith.constant_value(ub)
+        if ub_const is None:
+            raise InvalidLaunch("thread extents must be static")
+        extents.append(ub_const - lb_const)
+    return extents
+
+
+def _divergent_branches(thread_parallel: Operation) -> int:
+    """Count scf.if ops whose condition varies across threads."""
+    ivs = set(thread_parallel.body_block().args)
+    count = 0
+    stack = [thread_parallel.body_block()]
+    while stack:
+        block = stack.pop()
+        for op in block.ops:
+            if op.name == scf.IF and \
+                    depends_on_values(op.operand(0), ivs):
+                count += 1
+            for region in op.regions:
+                stack.extend(region.blocks)
+    return count
+
+
+class KernelModel:
+    """Static performance characterization of one block-level loop."""
+
+    def __init__(self, block_parallel: Operation, arch: GPUArchitecture):
+        from ..transforms.coarsen import thread_parallel as find_threads
+        self.arch = arch
+        self.block_parallel = block_parallel
+        self.threads = find_threads(block_parallel)
+        extents = _thread_extents(self.threads)
+        self.threads_per_block = 1
+        for extent in extents:
+            self.threads_per_block *= max(1, extent)
+        self.stats = kernel_statistics(self.threads)
+        self.accesses = analyze_coalescing(
+            self.threads, arch.warp_size, arch.transaction_bytes)
+        self.registers = estimate_registers(self.threads, arch)
+        self.bank_conflicts = analyze_shared_conflicts(
+            self.threads, arch.shared_banks)
+        self.shared_per_block = shared_bytes_per_block(block_parallel)
+        self.block_factor = _coarsen_totals(block_parallel)
+        self.thread_factor = _coarsen_totals(self.threads)
+        self.coarsen_total = self.block_factor * self.thread_factor
+        self.divergent_branches = _divergent_branches(self.threads)
+
+        # AMD LDS offload: extreme shared/thread ratios are demoted to
+        # global memory by the backend (§VII-D2)
+        self.lds_offloaded = False
+        if arch.lds_offload_bytes_per_thread is not None and \
+                self.shared_per_block > 0:
+            ratio = self.shared_per_block / self.threads_per_block
+            if ratio > arch.lds_offload_bytes_per_thread:
+                self.lds_offloaded = True
+
+        shared_for_occupancy = 0 if self.lds_offloaded \
+            else self.shared_per_block
+        self.occupancy = compute_occupancy(
+            arch, self.threads_per_block,
+            self.registers.registers_per_thread, shared_for_occupancy)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def alloc_threads_per_block(self) -> int:
+        warp = self.arch.warp_size
+        return -(-self.threads_per_block // warp) * warp
+
+    @property
+    def lane_efficiency(self) -> float:
+        """Fraction of allocated SIMD lanes doing useful work."""
+        return self.threads_per_block / self.alloc_threads_per_block
+
+    def spills(self) -> bool:
+        return self.registers.spills
+
+    # -- timing ------------------------------------------------------------------
+
+    def time_launch(self, num_blocks: int) -> LaunchTiming:
+        arch = self.arch
+        occupancy = self.occupancy
+        if num_blocks <= 0:
+            metrics = KernelMetrics()
+            return LaunchTiming(0.0, occupancy, metrics, {})
+        if occupancy.blocks_per_sm == 0:
+            raise InvalidLaunch(
+                "kernel exceeds %s resources (limited by %s)" %
+                (arch.name, occupancy.limiter))
+
+        T = self.threads_per_block
+        stats = self.stats
+        clock = arch.clock_ghz * 1e9
+
+        # -- compute ---------------------------------------------------------
+        lanes32 = max(1.0, arch.fp32_lanes_per_sm)
+        spill_penalty = 1.0
+        if self.registers.spills:
+            # spills hit local memory: painful but bounded (ptxas spills
+            # the coldest values first)
+            spill_penalty = min(4.0,
+                                1.0 + 0.1 * self.registers.spilled_registers)
+        divergence = 1.0 + 0.35 * min(self.divergent_branches, 4)
+        cycles32 = stats.flops_f32 / lanes32
+        lanes64 = max(lanes32 * arch.fp64_ratio, 1e-3)
+        cycles64 = stats.flops_f64 / lanes64
+        cycles_int = stats.int_ops / lanes32
+        cycles_special = stats.special_ops / (lanes32 / 4.0)
+        compute_cycles_per_thread = (cycles32 + cycles64 + cycles_int +
+                                     cycles_special)
+        # idle SIMD lanes in partially-filled warps still occupy the units
+        compute_cycles_per_block = (compute_cycles_per_thread * T *
+                                    divergence * spill_penalty /
+                                    self.lane_efficiency)
+
+        # how well can arithmetic latency be hidden? Parallelism is
+        # lane-normalized (32-thread warp equivalents) so 64-wide AMD
+        # wavefronts are not undercounted: they issue per-lane
+        active_warps = occupancy.active_threads / 32.0
+        ilp = BASE_ILP * (1.0 + 0.5 * (self.coarsen_total - 1) ** 0.5)
+        compute_util = min(1.0, active_warps * ilp / (
+            COMPUTE_LATENCY_WARPS * max(1.0, lanes32 / arch.warp_size)))
+        compute_util = max(compute_util, 0.05)
+
+        sms_used = min(arch.num_sms, num_blocks)
+        compute_seconds = (compute_cycles_per_block * num_blocks /
+                           (sms_used * clock * compute_util))
+
+        # -- global memory ------------------------------------------------------
+        warps_per_block = self.alloc_threads_per_block // arch.warp_size
+        read_bytes = 0.0
+        write_bytes = 0.0
+        useful_read = 0.0
+        useful_write = 0.0
+        read_requests = 0.0
+        write_requests = 0.0
+        for access in self.accesses:
+            warp_execs = access.executions * warps_per_block * \
+                self.lane_efficiency
+            transferred = warp_execs * access.transactions_per_warp * \
+                arch.transaction_bytes
+            useful = warp_execs * arch.warp_size * access.element_bytes * \
+                self.lane_efficiency
+            if access.is_store:
+                write_bytes += transferred
+                useful_write += useful
+                write_requests += warp_execs
+            else:
+                read_bytes += transferred
+                useful_read += useful
+                read_requests += warp_execs
+        # atomics: serialized uncoalesced traffic
+        atomic_bytes = stats.atomics * T * 4.0 * arch.warp_size
+        read_bytes += atomic_bytes
+        write_bytes += atomic_bytes
+
+        total_bytes = (read_bytes + write_bytes) * num_blocks
+
+        # achieved bandwidth via Little's law: outstanding requests
+        mlp = BASE_MLP * self.coarsen_total
+        mem_ops_per_thread = max(stats.global_accesses, 1e-9)
+        mlp = min(mlp, max(mem_ops_per_thread, 1.0) * 4.0, 64.0)
+        inflight_bytes_per_sm = (active_warps * mlp *
+                                 arch.transaction_bytes)
+        latency_seconds = DRAM_LATENCY_CYCLES / clock
+        achievable_bw = sms_used * inflight_bytes_per_sm / latency_seconds
+        peak = arch.peak_bandwidth_bytes()
+        achieved_bw = min(peak, achievable_bw)
+        memory_seconds = total_bytes / achieved_bw if total_bytes else 0.0
+
+        # -- shared memory --------------------------------------------------------
+        shared_accesses_per_block = stats.shared_accesses * T
+        shared_bytes = shared_accesses_per_block * SHARED_BANK_BYTES
+        shared_bw_per_sm = (arch.shared_banks * SHARED_BANK_BYTES * clock *
+                            max(self.lane_efficiency, 0.1))
+        if self.lds_offloaded:
+            # demoted to global memory: both slower and bandwidth-consuming
+            shared_seconds = (shared_bytes * num_blocks *
+                              arch.lds_offload_penalty / achieved_bw)
+            total_bytes += shared_bytes * num_blocks
+            memory_seconds = total_bytes / achieved_bw
+        else:
+            shared_seconds = (shared_bytes * num_blocks *
+                              self.bank_conflicts /
+                              (sms_used * shared_bw_per_sm))
+
+        # -- latency floor ----------------------------------------------------------
+        issue_cycles = compute_cycles_per_thread + stats.global_accesses + \
+            stats.shared_accesses
+        shared_latency = SHARED_LATENCY_CYCLES
+        if self.lds_offloaded:
+            # offloaded "shared" memory lives in global memory: every
+            # access pays DRAM latency (this is what made nw 15x worse
+            # with offloading disabled in the paper's experiment)
+            shared_latency = DRAM_LATENCY_CYCLES
+        dependent_stalls = (
+            stats.global_accesses * DRAM_LATENCY_CYCLES / mlp +
+            stats.shared_accesses * shared_latency / mlp)
+        block_latency_cycles = issue_cycles + dependent_stalls
+        waves = -(-num_blocks // max(1, occupancy.blocks_per_sm *
+                                     arch.num_sms))
+        latency_seconds_floor = waves * block_latency_cycles / clock
+
+        # compute / global-memory / shared-memory pipelines overlap, but
+        # imperfectly: the dominant one sets the pace and the others leak
+        # through (issue slots, LSU contention). The per-block dependence
+        # chain is a separate lower bound.
+        work_terms = (compute_seconds, memory_seconds, shared_seconds)
+        dominant = max(work_terms)
+        busy = dominant + OVERLAP_LEAK * (sum(work_terms) - dominant)
+        busy = max(busy, latency_seconds_floor)
+        time = busy + LAUNCH_OVERHEAD
+
+        # -- metrics -----------------------------------------------------------------
+        metrics = KernelMetrics(
+            time_seconds=time,
+            lsu_utilization=min(1.0, memory_seconds / busy
+                                if busy else 0.0),
+            fma_utilization=min(1.0, compute_seconds / busy
+                                if busy else 0.0),
+            l2_to_l1_read_bytes=read_bytes * num_blocks,
+            l1_to_l2_write_bytes=write_bytes * num_blocks,
+            dram_read_bytes=useful_read * num_blocks,
+            dram_write_bytes=useful_write * num_blocks,
+            l1_to_sm_read_requests=read_requests * num_blocks,
+            sm_to_l1_write_requests=write_requests * num_blocks,
+            shmem_to_sm_read_requests=stats.loads_shared * T * num_blocks,
+            sm_to_shmem_write_requests=stats.stores_shared * T * num_blocks,
+            occupancy=occupancy.occupancy,
+            registers_per_thread=self.registers.registers_per_thread,
+            shared_bytes_per_block=self.shared_per_block,
+            threads_per_block=T,
+            num_blocks=num_blocks,
+        )
+        breakdown = {
+            "compute": compute_seconds,
+            "memory": memory_seconds,
+            "shared": shared_seconds,
+            "latency": latency_seconds_floor,
+            "overhead": LAUNCH_OVERHEAD,
+        }
+        return LaunchTiming(time, occupancy, metrics, breakdown)
+
+
+# -- wrapper-level modeling -----------------------------------------------------------
+
+
+def _eval_index(value: Value, env: Dict[Value, int]) -> Optional[int]:
+    """Evaluate an index SSA expression given known leaf values."""
+    if value in env:
+        return env[value]
+    constant = arith.constant_value(value)
+    if constant is not None:
+        return int(constant)
+    from ..ir import OpResult
+    if not isinstance(value, OpResult):
+        return None
+    op = value.owner
+    operands = [_eval_index(v, env) for v in op.operands]
+    if any(v is None for v in operands):
+        return None
+    table = {
+        "arith.addi": lambda a, b: a + b,
+        "arith.subi": lambda a, b: a - b,
+        "arith.muli": lambda a, b: a * b,
+        "arith.divsi": lambda a, b: a // b if b else None,
+        "arith.remsi": lambda a, b: a % b if b else None,
+        "arith.minsi": min, "arith.maxsi": max,
+    }
+    fn = table.get(op.name)
+    if fn is None or len(operands) != 2:
+        if op.name == "arith.index_cast":
+            return operands[0]
+        return None
+    return fn(*operands)
+
+
+def block_count(block_parallel: Operation,
+                env: Dict[Value, int]) -> Optional[int]:
+    """Number of blocks this loop executes, given launch parameter values."""
+    total = 1
+    for lb, ub in zip(scf.parallel_lower_bounds(block_parallel),
+                      scf.parallel_upper_bounds(block_parallel)):
+        lb_value = _eval_index(lb, env)
+        ub_value = _eval_index(ub, env)
+        if lb_value is None or ub_value is None:
+            return None
+        total *= max(0, ub_value - lb_value)
+    return total
+
+
+def model_wrapper_launch(wrapper: Operation, arch: GPUArchitecture,
+                         env: Dict[Value, int],
+                         models: Optional[Dict[int, KernelModel]] = None
+                         ) -> LaunchTiming:
+    """Model one execution of a gpu_wrapper (main + epilogue loops).
+
+    ``env`` maps launch-parameter SSA values (e.g. grid-dimension function
+    arguments) to their runtime integers. ``models`` optionally caches
+    :class:`KernelModel` instances keyed by ``id(block_parallel)``.
+    """
+    from ..transforms.coarsen import block_parallels
+    total_time = 0.0
+    breakdown: Dict[str, float] = {}
+    metrics = KernelMetrics()
+    occupancy = None
+    for loop in block_parallels(wrapper):
+        blocks = block_count(loop, env)
+        if blocks is None:
+            raise InvalidLaunch("cannot evaluate grid size for modeling")
+        key = id(loop)
+        if models is not None and key in models:
+            model = models[key]
+        else:
+            model = KernelModel(loop, arch)
+            if models is not None:
+                models[key] = model
+        timing = model.time_launch(blocks)
+        if blocks > 0:
+            total_time += timing.time_seconds
+            _merge_metrics(metrics, timing.metrics)
+            for name, value in timing.breakdown.items():
+                breakdown[name] = breakdown.get(name, 0.0) + value
+            if occupancy is None:
+                occupancy = timing.occupancy
+    if occupancy is None:
+        occupancy = Occupancy(0, 0, 0.0, "none")
+    metrics.time_seconds = total_time
+    return LaunchTiming(total_time, occupancy, metrics, breakdown)
+
+
+def _merge_metrics(into: KernelMetrics, other: KernelMetrics) -> None:
+    into.l2_to_l1_read_bytes += other.l2_to_l1_read_bytes
+    into.l1_to_l2_write_bytes += other.l1_to_l2_write_bytes
+    into.dram_read_bytes += other.dram_read_bytes
+    into.dram_write_bytes += other.dram_write_bytes
+    into.l1_to_sm_read_requests += other.l1_to_sm_read_requests
+    into.sm_to_l1_write_requests += other.sm_to_l1_write_requests
+    into.shmem_to_sm_read_requests += other.shmem_to_sm_read_requests
+    into.sm_to_shmem_write_requests += other.sm_to_shmem_write_requests
+    into.lsu_utilization = max(into.lsu_utilization, other.lsu_utilization)
+    into.fma_utilization = max(into.fma_utilization, other.fma_utilization)
+    into.occupancy = max(into.occupancy, other.occupancy)
+    into.registers_per_thread = max(into.registers_per_thread,
+                                    other.registers_per_thread)
+    into.shared_bytes_per_block = max(into.shared_bytes_per_block,
+                                      other.shared_bytes_per_block)
+    into.threads_per_block = max(into.threads_per_block,
+                                 other.threads_per_block)
+    into.num_blocks += other.num_blocks

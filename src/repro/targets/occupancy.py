@@ -1,0 +1,69 @@
+"""Occupancy calculation (§II-A3 of the paper).
+
+Given a kernel's resource footprint — threads per block, registers per
+thread, shared memory per block — and an architecture, compute how many
+blocks fit on one SM and the resulting occupancy
+``active_threads / max_threads_per_SM``, identifying the limiting resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import GPUArchitecture
+
+
+@dataclass
+class Occupancy:
+    blocks_per_sm: int
+    active_threads: int
+    occupancy: float
+    limiter: str        # "threads", "registers", "shared", "blocks", "none"
+
+    @property
+    def active_warps(self) -> int:
+        return self.active_threads  # in thread units; warps = /warp_size
+
+
+def compute_occupancy(arch: GPUArchitecture, threads_per_block: int,
+                      registers_per_thread: int,
+                      shared_per_block: int) -> Occupancy:
+    """CUDA-occupancy-calculator-style resource fitting."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > arch.max_threads_per_block:
+        return Occupancy(0, 0, 0.0, "threads")
+
+    # warp-granular thread allocation
+    warp = arch.warp_size
+    warps_per_block = -(-threads_per_block // warp)
+    alloc_threads = warps_per_block * warp
+
+    limits = {}
+    limits["threads"] = arch.max_threads_per_sm // alloc_threads
+    limits["blocks"] = arch.max_blocks_per_sm
+    regs_per_block = registers_per_thread * alloc_threads
+    limits["registers"] = (arch.registers_per_sm // regs_per_block
+                           if regs_per_block > 0 else arch.max_blocks_per_sm)
+    if shared_per_block > 0:
+        if shared_per_block > arch.shared_mem_per_block:
+            return Occupancy(0, 0, 0.0, "shared")
+        limits["shared"] = arch.shared_mem_per_sm // shared_per_block
+    else:
+        limits["shared"] = arch.max_blocks_per_sm
+
+    blocks = min(limits.values())
+    if blocks <= 0:
+        limiter = min(limits, key=limits.get)
+        return Occupancy(0, 0, 0.0, limiter)
+    limiter = min(limits, key=lambda k: (limits[k], _PRIORITY[k]))
+    if blocks == arch.max_blocks_per_sm and limiter != "blocks":
+        limiter = "blocks" if limits["blocks"] == blocks else limiter
+    active = blocks * alloc_threads
+    occupancy = min(1.0, active / arch.max_threads_per_sm)
+    if occupancy >= 1.0:
+        limiter = "none"
+    return Occupancy(blocks, active, occupancy, limiter)
+
+
+_PRIORITY = {"threads": 0, "registers": 1, "shared": 2, "blocks": 3}

@@ -1,0 +1,34 @@
+"""IR transformations.
+
+Cleanup passes (canonicalize/CSE/DCE/LICM/barrier elimination) mirror the
+pre-existing Polygeist/MLIR optimizations the paper builds on (§III); the
+paper's own contributions live in :mod:`unroll_interleave` (nested parallel
+loop unroll-and-interleave, §IV), :mod:`coarsen` (thread and block
+coarsening, §V), and :mod:`alternatives` (compile-time multi-versioning,
+§VI).
+"""
+
+from .alternatives import (AlternativeInfo, generate_coarsening_alternatives,
+                           select_alternative)
+from .barrier_elim import BarrierElimination
+from .canonicalize import Canonicalize
+from .coarsen import (CoarsenError, CoarsenResult, balance_factors,
+                      block_coarsen, coarsen_wrapper, thread_coarsen)
+from .cse import CSE
+from .dce import DCE
+from .licm import LICM
+from .load_elim import RedundantLoadElimination
+from .outline import outline_gpu_wrappers
+from .pipeline import default_cleanup_pipeline, run_cleanup
+from .unroll_interleave import IllegalUnroll, check_unroll_legality, \
+    unroll_and_interleave
+
+__all__ = [
+    "AlternativeInfo", "BarrierElimination", "CSE", "Canonicalize",
+    "CoarsenError", "CoarsenResult", "DCE", "IllegalUnroll", "LICM",
+    "balance_factors", "block_coarsen", "check_unroll_legality",
+    "coarsen_wrapper", "default_cleanup_pipeline",
+    "generate_coarsening_alternatives", "outline_gpu_wrappers", "RedundantLoadElimination",
+    "run_cleanup", "select_alternative", "thread_coarsen",
+    "unroll_and_interleave",
+]

@@ -1,0 +1,110 @@
+"""Alternative code paths: compile-time multi-versioning (§VI, Fig. 12).
+
+Each coarsening configuration is applied to its own clone of the kernel's
+parallel nest; the clones become regions of one ``polygeist.alternatives``
+op. Later pipeline stages prune regions (shared-memory limits, register
+spills) and finally TDO selects exactly one, which
+:func:`select_alternative` splices back in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dialects import polygeist
+from ..ir import Operation, Region
+from .coarsen import CoarsenError, CoarsenResult, coarsen_wrapper
+
+
+@dataclass
+class AlternativeInfo:
+    """Metadata about one generated alternative region."""
+
+    index: int
+    desc: str
+    config: Dict[str, object]
+    result: CoarsenResult
+
+
+@dataclass
+class AlternativesReport:
+    """Outcome of alternative generation: what was built, what was illegal."""
+
+    op: Optional[Operation]
+    alternatives: List[AlternativeInfo] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+
+
+def generate_coarsening_alternatives(
+        wrapper: Operation,
+        configs: Sequence[Dict[str, object]]) -> AlternativesReport:
+    """Replace a gpu_wrapper's body with a ``polygeist.alternatives`` op
+    holding one coarsened clone per config.
+
+    Each config is a kwargs dict for
+    :func:`~repro.transforms.coarsen.coarsen_wrapper` (e.g.
+    ``{"block_total": 4, "thread_total": 2}``). Configs whose coarsening is
+    illegal are recorded in ``rejected`` and skipped.
+    """
+    if wrapper.name != polygeist.GPU_WRAPPER:
+        raise ValueError("expected a polygeist.gpu_wrapper")
+    report = AlternativesReport(op=None)
+    regions: List[Region] = []
+    descs: List[str] = []
+    for config in configs:
+        clone = wrapper.clone({})
+        try:
+            result = coarsen_wrapper(clone, **config)
+        except CoarsenError as error:
+            report.rejected.append("%r: %s" % (config, error))
+            continue
+        desc = result.describe()
+        region = clone.region(0)
+        regions.append(region)
+        report.alternatives.append(
+            AlternativeInfo(len(regions) - 1, desc, dict(config), result))
+        descs.append(desc)
+    if not regions:
+        return report
+    alt = Operation(polygeist.ALTERNATIVES, [], [],
+                    {polygeist.DESCS_ATTR: descs}, regions)
+    body = wrapper.body_block()
+    # erase the original nest (in reverse, so defs outlive their uses)
+    for op in reversed(list(body.ops)):
+        op.erase()
+    body.append(alt)
+    report.op = alt
+    return report
+
+
+def prune_alternatives(alt: Operation, keep: Sequence[int]) -> None:
+    """Drop all regions except those at the given indices (order kept)."""
+    keep_set = sorted(set(keep))
+    if not keep_set:
+        raise ValueError("cannot prune every alternative")
+    descs = polygeist.alternative_descs(alt)
+    alt.regions = [alt.regions[i] for i in keep_set]
+    for region in alt.regions:
+        region.parent = alt
+    alt.attributes[polygeist.DESCS_ATTR] = [descs[i] for i in keep_set]
+
+
+def select_alternative(alt: Operation, index: int) -> None:
+    """Replace the alternatives op with the contents of region ``index``."""
+    if not 0 <= index < len(alt.regions):
+        raise IndexError("alternative %d out of range" % index)
+    chosen = alt.body_block(index)
+    parent = alt.parent
+    position = parent.index_of(alt)
+    moved = list(chosen.ops)
+    for op in moved:
+        op.parent = None
+    chosen.ops = []
+    for offset, op in enumerate(moved):
+        parent.insert(position + offset, op)
+    alt.erase()
+
+
+def find_alternatives(root: Operation) -> List[Operation]:
+    return root.ops_matching(polygeist.ALTERNATIVES)

@@ -1,0 +1,65 @@
+"""Barrier elimination (one of the pre-existing Polygeist optimizations).
+
+Removes provably redundant ``polygeist.barrier`` ops:
+
+* adjacent barriers with no memory access between them collapse to one
+  (the coarsening transformations produce these when merging copies);
+* a leading barrier with no preceding shared/global access in the thread
+  body orders nothing and is removed;
+* likewise a trailing barrier with no following access.
+"""
+
+from __future__ import annotations
+
+from ..dialects import effects
+from ..ir import Block, Module, Operation, Pass
+
+
+def _accesses_memory(op: Operation) -> bool:
+    return effects.reads_memory(op) or effects.writes_memory(op)
+
+
+class BarrierElimination(Pass):
+    name = "barrier-elim"
+
+    def run(self, module: Module) -> bool:
+        self.changed = False
+        parallels = []
+        module.op.walk(lambda op: parallels.append(op)
+                       if op.name == "scf.parallel" and
+                       op.attr("gpu.kind") == "threads" else None)
+        for parallel in parallels:
+            if parallel.parent is not None:
+                self._clean_block(parallel.body_block(), top_level=True)
+        return self.changed
+
+    def _clean_block(self, block: Block, top_level: bool) -> None:
+        # collapse adjacent barriers (no memory access in between)
+        pending_barrier = None
+        for op in list(block.ops):
+            if op.name == "polygeist.barrier":
+                if pending_barrier is not None:
+                    op.erase()
+                    self.changed = True
+                    continue
+                pending_barrier = op
+            elif _accesses_memory(op) or effects.is_sync(op):
+                pending_barrier = None
+            for region in op.regions:
+                for nested in region.blocks:
+                    self._clean_block(nested, top_level=False)
+        if not top_level:
+            return
+        # leading barrier: nothing before it accesses memory
+        self._trim(block, forward=True)
+        self._trim(block, forward=False)
+
+    def _trim(self, block: Block, forward: bool) -> None:
+        ops = block.ops if forward else list(reversed(block.ops))
+        for op in list(ops):
+            if op.name == "polygeist.barrier":
+                op.erase()
+                self.changed = True
+                return
+            if _accesses_memory(op) or effects.is_sync(op) or op.regions:
+                return

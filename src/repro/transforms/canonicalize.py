@@ -1,0 +1,186 @@
+"""Canonicalization: constant folding and algebraic simplification."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dialects import arith
+from ..ir import (Builder, FloatType, IndexType, IntegerType, Module,
+                  Operation, Pass, Value)
+
+_INT_FOLDS = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.andi": lambda a, b: a & b,
+    "arith.ori": lambda a, b: a | b,
+    "arith.xori": lambda a, b: a ^ b,
+    "arith.shli": lambda a, b: a << b,
+    "arith.shrsi": lambda a, b: a >> b,
+    "arith.minsi": min,
+    "arith.maxsi": max,
+}
+
+_CMP = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+}
+
+
+def _const(value: Value) -> Optional[object]:
+    return arith.constant_value(value)
+
+
+def _match_divmod_recompose(add_op: Operation) -> Optional[Value]:
+    """Recognize ``(x / y) * y + x % y`` (either operand order) as ``x``.
+
+    Holds for C division semantics with any sign. This is the row/column
+    linearization idiom (``row = i / n; col = i % n; a[row * n + col]``)
+    whose recomposition the coalescing analysis needs to see through.
+    """
+    from ..ir import OpResult
+
+    def as_op(value, name):
+        if isinstance(value, OpResult) and value.owner.name == name:
+            return value.owner
+        return None
+
+    for mul_side, rem_side in ((add_op.operand(0), add_op.operand(1)),
+                               (add_op.operand(1), add_op.operand(0))):
+        rem = as_op(rem_side, "arith.remsi")
+        mul = as_op(mul_side, "arith.muli")
+        if rem is None or mul is None:
+            continue
+        x, y = rem.operand(0), rem.operand(1)
+        for div_side, factor in ((mul.operand(0), mul.operand(1)),
+                                 (mul.operand(1), mul.operand(0))):
+            div = as_op(div_side, "arith.divsi")
+            if div is None or factor is not y:
+                continue
+            if div.operand(0) is x and div.operand(1) is y:
+                return x
+    return None
+
+
+class Canonicalize(Pass):
+    """Folds constants and applies identities like x+0, x*1, x*0."""
+
+    name = "canonicalize"
+
+    def run(self, module: Module) -> bool:
+        self.changed = False
+        # iterate to propagate folds
+        for _ in range(8):
+            before = self.changed
+            module.op.walk(self._simplify_op)
+            if self.changed == before:
+                break
+        return self.changed
+
+    def _replace_with_constant(self, op: Operation, value) -> None:
+        builder = Builder(op.parent, op.parent.index_of(op))
+        new_value = arith.constant(builder, value, op.result().type)
+        op.replace_all_uses_with([new_value])
+        op.erase()
+        self.changed = True
+
+    def _replace_with_value(self, op: Operation, value: Value) -> None:
+        op.replace_all_uses_with([value])
+        op.erase()
+        self.changed = True
+
+    def _simplify_op(self, op: Operation) -> None:
+        if op.parent is None:
+            return
+        name = op.name
+        if name in _INT_FOLDS:
+            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            if lhs is not None and rhs is not None:
+                self._replace_with_constant(op, _INT_FOLDS[name](lhs, rhs))
+                return
+            if name == "arith.addi":
+                reconstructed = _match_divmod_recompose(op)
+                if reconstructed is not None:
+                    self._replace_with_value(op, reconstructed)
+                    return
+            self._int_identities(op, lhs, rhs)
+            return
+        if name in ("arith.divsi", "arith.remsi"):
+            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            if lhs is not None and rhs not in (None, 0):
+                q = abs(lhs) // abs(rhs)
+                if (lhs >= 0) != (rhs >= 0):
+                    q = -q
+                value = q if name == "arith.divsi" else lhs - q * rhs
+                self._replace_with_constant(op, value)
+            elif rhs == 1:
+                if name == "arith.divsi":
+                    self._replace_with_value(op, op.operand(0))
+                else:
+                    self._replace_with_constant(op, 0)
+            return
+        if name == "arith.cmpi":
+            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            if lhs is not None and rhs is not None:
+                predicate = op.attr("predicate")
+                self._replace_with_constant(op, _CMP[predicate](lhs, rhs))
+            return
+        if name == "arith.select":
+            cond = _const(op.operand(0))
+            if cond is not None:
+                self._replace_with_value(
+                    op, op.operand(1) if cond else op.operand(2))
+            elif op.operand(1) is op.operand(2):
+                self._replace_with_value(op, op.operand(1))
+            return
+        if name == "arith.index_cast":
+            source = op.operand(0)
+            if source.type == op.result().type:
+                self._replace_with_value(op, source)
+            else:
+                folded = _const(source)
+                if folded is not None and isinstance(
+                        op.result().type, (IndexType, IntegerType)):
+                    self._replace_with_constant(op, folded)
+            return
+        if name == "scf.if":
+            cond = _const(op.operand(0))
+            if cond is not None:
+                self._inline_if_branch(op, bool(cond))
+            return
+
+    def _int_identities(self, op: Operation, lhs, rhs) -> None:
+        name = op.name
+        if name == "arith.addi":
+            if rhs == 0:
+                self._replace_with_value(op, op.operand(0))
+            elif lhs == 0:
+                self._replace_with_value(op, op.operand(1))
+        elif name == "arith.subi":
+            if rhs == 0:
+                self._replace_with_value(op, op.operand(0))
+        elif name == "arith.muli":
+            if rhs == 1:
+                self._replace_with_value(op, op.operand(0))
+            elif lhs == 1:
+                self._replace_with_value(op, op.operand(1))
+            elif rhs == 0 or lhs == 0:
+                self._replace_with_constant(op, 0)
+
+    def _inline_if_branch(self, op: Operation, take_then: bool) -> None:
+        block = op.body_block(0 if take_then else 1)
+        parent = op.parent
+        index = parent.index_of(op)
+        terminator = block.ops[-1] if block.ops and \
+            block.ops[-1].name == "scf.yield" else None
+        moved = [child for child in block.ops if child is not terminator]
+        for child in moved:
+            child.parent = None
+        block.ops = [terminator] if terminator else []
+        for offset, child in enumerate(moved):
+            parent.insert(index + offset, child)
+        if terminator is not None:
+            op.replace_all_uses_with(terminator.operands)
+        op.erase()
+        self.changed = True

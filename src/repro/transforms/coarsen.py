@@ -1,0 +1,247 @@
+"""Thread and block coarsening as granularity variation (§V of the paper).
+
+Both are built on :func:`~repro.transforms.unroll_interleave.unroll_and_interleave`:
+
+* **thread coarsening** unrolls the thread-level ``scf.parallel`` with
+  coalescing-friendly indexing; factors must divide the block extent and the
+  transformation is always legal (§V-A);
+* **block coarsening** unrolls the block-level ``scf.parallel`` with
+  contiguous indexing, duplicating shared-memory allocations and emitting an
+  epilogue kernel for non-divisor factors (§V-B, §V-C). It is illegal when
+  thread barriers sit under block-dependent control flow.
+
+Multi-dimensional *total* factors are balanced across dimensions with the
+paper's strategy (footnote 4): 16 → (4, 2, 2), 6 → (3, 2, 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..dialects import arith, polygeist, scf
+from ..ir import Operation
+from .unroll_interleave import IllegalUnroll, unroll_and_interleave
+
+
+class CoarsenError(ValueError):
+    pass
+
+
+@dataclass
+class CoarsenResult:
+    """What a coarsening request actually did."""
+
+    block_factors: Tuple[int, ...] = ()
+    thread_factors: Tuple[int, ...] = ()
+    epilogues: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def total_block(self) -> int:
+        return _product(self.block_factors)
+
+    @property
+    def total_thread(self) -> int:
+        return _product(self.thread_factors)
+
+    def describe(self) -> str:
+        return "block=%s thread=%s" % (
+            "x".join(map(str, self.block_factors)) or "1",
+            "x".join(map(str, self.thread_factors)) or "1")
+
+
+def _product(values: Sequence[int]) -> int:
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return sorted(factors, reverse=True)
+
+
+def balance_factors(total: int, extents: Sequence[Optional[int]],
+                    require_divisors: bool = False) -> List[int]:
+    """Distribute ``total`` across dimensions (paper footnote 4).
+
+    Dimensions of extent 1 are skipped. With ``require_divisors`` a prime is
+    only placed on a dimension whose extent stays divisible; primes that fit
+    nowhere are dropped (reducing the effective total).
+    """
+    factors = [1] * len(extents)
+    usable = [d for d, extent in enumerate(extents) if extent != 1]
+    if not usable:
+        return factors
+    for prime in _prime_factors(total):
+        candidates = []
+        for d in usable:
+            if require_divisors:
+                extent = extents[d]
+                if extent is None or extent % (factors[d] * prime) != 0:
+                    continue
+            candidates.append(d)
+        if not candidates:
+            continue
+        best = min(candidates, key=lambda d: (factors[d], d))
+        factors[best] *= prime
+    return factors
+
+
+# -- structure helpers -----------------------------------------------------------
+
+
+def block_parallels(wrapper: Operation,
+                    include_epilogues: bool = True) -> List[Operation]:
+    """The block-level parallel loops directly inside a gpu_wrapper."""
+    found = [op for op in wrapper.body_block().ops
+             if scf.is_gpu_blocks(op)]
+    if not include_epilogues:
+        found = [op for op in found if not op.attr("coarsen.epilogue")]
+    return found
+
+
+def block_parallels_in_region(region) -> List[Operation]:
+    """Block-level parallel loops at the top level of a region (used for
+    the regions of a polygeist.alternatives op)."""
+    return [op for op in region.entry.ops if scf.is_gpu_blocks(op)]
+
+
+def thread_parallel(block_parallel: Operation) -> Operation:
+    """The thread-level parallel nested in a block loop."""
+    stack = [block_parallel.body_block()]
+    while stack:
+        block = stack.pop()
+        for op in block.ops:
+            if scf.is_gpu_threads(op):
+                return op
+            for region in op.regions:
+                stack.extend(region.blocks)
+    raise CoarsenError("no thread-level parallel found in block loop")
+
+
+def parallel_extents(parallel: Operation) -> List[Optional[int]]:
+    """Static extents per dimension (None when dynamic)."""
+    extents: List[Optional[int]] = []
+    for lb, ub in zip(scf.parallel_lower_bounds(parallel),
+                      scf.parallel_upper_bounds(parallel)):
+        lb_const = arith.constant_value(lb)
+        ub_const = arith.constant_value(ub)
+        if lb_const is None or ub_const is None:
+            extents.append(None)
+        else:
+            extents.append(ub_const - lb_const)
+    return extents
+
+
+# -- coarsening entry points --------------------------------------------------------
+
+
+def thread_coarsen(wrapper: Operation,
+                   factors: Sequence[int]) -> CoarsenResult:
+    """Apply per-dimension thread coarsening to every block loop (main and
+    epilogues) of a gpu_wrapper."""
+    result = CoarsenResult(thread_factors=tuple(factors))
+    for block_loop in block_parallels(wrapper):
+        threads = thread_parallel(block_loop)
+        current = threads
+        for dim, factor in enumerate(factors):
+            if factor == 1:
+                continue
+            if dim >= scf.parallel_num_dims(current):
+                raise CoarsenError(
+                    "thread dimension %d out of range" % dim)
+            try:
+                current, _ = unroll_and_interleave(current, dim, factor,
+                                                   style="thread")
+            except IllegalUnroll as error:
+                raise CoarsenError("thread coarsening failed: %s" % error)
+    return result
+
+
+def block_coarsen(wrapper: Operation,
+                  factors: Sequence[int]) -> CoarsenResult:
+    """Apply per-dimension block coarsening to the main block loop."""
+    result = CoarsenResult(block_factors=tuple(factors))
+    mains = block_parallels(wrapper, include_epilogues=False)
+    if len(mains) != 1:
+        raise CoarsenError("expected exactly one main block loop, found %d"
+                           % len(mains))
+    current = mains[0]
+    for dim, factor in enumerate(factors):
+        if factor == 1:
+            continue
+        if dim >= scf.parallel_num_dims(current):
+            raise CoarsenError("block dimension %d out of range" % dim)
+        try:
+            current, epilogue = unroll_and_interleave(current, dim, factor,
+                                                      style="block")
+        except IllegalUnroll as error:
+            raise CoarsenError("block coarsening failed: %s" % error)
+        if epilogue is not None:
+            result.epilogues += 1
+    return result
+
+
+def coarsen_wrapper(wrapper: Operation,
+                    block_factors: Optional[Sequence[int]] = None,
+                    thread_factors: Optional[Sequence[int]] = None,
+                    block_total: Optional[int] = None,
+                    thread_total: Optional[int] = None) -> CoarsenResult:
+    """Combined coarsening of one gpu_wrapper.
+
+    Either explicit per-dimension factors or a *total* factor (balanced
+    across dimensions, footnote 4) may be given for each level. Block
+    coarsening runs first (outer loop), then thread coarsening is applied
+    inside every resulting block loop including epilogues.
+    """
+    if wrapper.name != polygeist.GPU_WRAPPER:
+        raise CoarsenError("coarsen_wrapper expects a polygeist.gpu_wrapper")
+    mains = block_parallels(wrapper, include_epilogues=False)
+    if len(mains) != 1:
+        raise CoarsenError("wrapper must hold exactly one block loop")
+    result = CoarsenResult()
+
+    if block_total is not None:
+        if block_factors is not None:
+            raise CoarsenError("give block_factors or block_total, not both")
+        extents = parallel_extents(mains[0])
+        block_factors = balance_factors(block_total, extents)
+        if _product(block_factors) != block_total:
+            result.notes.append(
+                "block total %d reduced to %d by dimension limits" %
+                (block_total, _product(block_factors)))
+    if thread_total is not None:
+        if thread_factors is not None:
+            raise CoarsenError(
+                "give thread_factors or thread_total, not both")
+        extents = parallel_extents(thread_parallel(mains[0]))
+        thread_factors = balance_factors(thread_total, extents,
+                                         require_divisors=True)
+        if _product(thread_factors) != thread_total:
+            result.notes.append(
+                "thread total %d reduced to %d by divisibility" %
+                (thread_total, _product(thread_factors)))
+
+    if block_factors and _product(block_factors) > 1:
+        block_result = block_coarsen(wrapper, block_factors)
+        result.block_factors = block_result.block_factors
+        result.epilogues = block_result.epilogues
+    else:
+        result.block_factors = tuple(block_factors or ())
+    if thread_factors and _product(thread_factors) > 1:
+        thread_result = thread_coarsen(wrapper, thread_factors)
+        result.thread_factors = thread_result.thread_factors
+    else:
+        result.thread_factors = tuple(thread_factors or ())
+    return result

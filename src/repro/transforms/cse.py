@@ -1,0 +1,63 @@
+"""Common subexpression elimination for pure ops, scoped by region nesting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dialects import effects
+from ..ir import Block, Module, Operation, Pass
+
+
+def _key(op: Operation) -> Optional[Tuple]:
+    if op.regions or not effects.is_pure(op):
+        return None
+    attrs = tuple(sorted((k, _hashable(v)) for k, v in op.attributes.items()))
+    return (op.name, tuple(id(v) for v in op.operands), attrs,
+            tuple(str(r.type) for r in op.results))
+
+
+def _hashable(value):
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.table: Dict[Tuple, Operation] = {}
+
+    def lookup(self, key: Tuple) -> Optional[Operation]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if key in scope.table:
+                return scope.table[key]
+            scope = scope.parent
+        return None
+
+
+class CSE(Pass):
+    """Deduplicates pure operations; outer-scope values are reused inside
+    nested regions (valid in our structured, single-block IR)."""
+
+    name = "cse"
+
+    def run(self, module: Module) -> bool:
+        self.changed = False
+        self._run_block(module.body, _Scope())
+        return self.changed
+
+    def _run_block(self, block: Block, scope: _Scope) -> None:
+        for op in list(block.ops):
+            key = _key(op)
+            if key is not None:
+                existing = scope.lookup(key)
+                if existing is not None:
+                    op.replace_all_uses_with(existing.results)
+                    op.erase()
+                    self.changed = True
+                    continue
+                scope.table[key] = op
+            for region in op.regions:
+                for nested in region.blocks:
+                    self._run_block(nested, _Scope(scope))

@@ -1,0 +1,45 @@
+"""Dead code elimination: removes unused side-effect-free operations."""
+
+from __future__ import annotations
+
+from ..dialects import effects
+from ..ir import Block, Module, Operation, Pass
+
+
+def _is_dead(op: Operation) -> bool:
+    if any(result.has_uses() for result in op.results):
+        return False
+    if effects.is_terminator(op):
+        return False
+    if effects.has_side_effects(op):
+        return False
+    # pure ops, unused loads, and unused allocations are all removable —
+    # but an allocation is only dead if nothing accesses it
+    if effects.is_allocation(op):
+        return True
+    if op.regions:
+        return False
+    return True
+
+
+class DCE(Pass):
+    name = "dce"
+
+    def run(self, module: Module) -> bool:
+        self.changed = False
+        # iterate: removing a user may make its operands dead
+        while self._sweep(module.body):
+            self.changed = True
+        return self.changed
+
+    def _sweep(self, block: Block) -> bool:
+        removed = False
+        for op in list(block.ops):
+            for region in op.regions:
+                for nested in region.blocks:
+                    if self._sweep(nested):
+                        removed = True
+            if _is_dead(op):
+                op.erase()
+                removed = True
+        return removed

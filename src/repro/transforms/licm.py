@@ -1,0 +1,103 @@
+"""Loop-invariant code motion, including GPU shared-memory loads.
+
+The paper attributes its lavaMD speedup (§VII-C) to "better loop invariant
+code motion with respect to GPU shared memory": loads from shared buffers
+that are not written inside the loop get hoisted out of the innermost
+compute loops. This pass implements that: pure ops are hoisted whenever
+their operands are loop-invariant, and loads additionally require that no
+write to the same buffer occurs inside the loop and that they execute on
+every iteration of a loop with a known positive trip count.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..dialects import arith, effects, memref as memref_d
+from ..ir import Module, Operation, Pass, Value
+
+
+def _values_defined_inside(op: Operation) -> Set[Value]:
+    inside: Set[Value] = set()
+
+    def collect(child: Operation) -> None:
+        inside.update(child.results)
+        for region in child.regions:
+            for block in region.blocks:
+                inside.update(block.args)
+
+    op.walk_preorder(collect, include_self=False)
+    for region in op.regions:
+        for block in region.blocks:
+            inside.update(block.args)
+    return inside
+
+
+def _written_buffers(op: Operation) -> Set[int]:
+    """ids of memref base values stored to anywhere inside ``op``."""
+    written: Set[int] = set()
+
+    def collect(child: Operation) -> None:
+        if child.name in ("memref.store", "memref.atomic_rmw"):
+            written.add(id(memref_d.load_op_ref(child)))
+        elif child.name in ("func.call", "gpu.launch_func"):
+            written.add(-1)  # unknown writes
+
+    op.walk_preorder(collect)
+    return written
+
+
+def _has_positive_trip_count(loop: Operation) -> bool:
+    lb = arith.constant_value(loop.operand(0))
+    ub = arith.constant_value(loop.operand(1))
+    return lb is not None and ub is not None and ub > lb
+
+
+def _is_speculatable(op: Operation) -> bool:
+    """Pure and safe to execute even if the loop body never ran."""
+    if op.regions or not effects.is_pure(op):
+        return False
+    if op.name in ("arith.divsi", "arith.remsi", "arith.divui",
+                   "arith.remui"):
+        divisor = arith.constant_value(op.operand(1))
+        return divisor is not None and divisor != 0
+    return True
+
+
+class LICM(Pass):
+    name = "licm"
+
+    def run(self, module: Module) -> bool:
+        self.changed = False
+        loops = []
+        module.op.walk(lambda op: loops.append(op)
+                       if op.name == "scf.for" else None)
+        # post-order walk already yields innermost loops first
+        for loop in loops:
+            if loop.parent is not None:
+                self._hoist_from(loop)
+        return self.changed
+
+    def _hoist_from(self, loop: Operation) -> None:
+        inside = _values_defined_inside(loop)
+        written = _written_buffers(loop)
+        guarded_trip = _has_positive_trip_count(loop)
+        body = loop.body_block()
+        parent = loop.parent
+        for op in list(body.ops):
+            if any(operand in inside for operand in op.operands):
+                continue
+            hoist = False
+            if _is_speculatable(op):
+                hoist = True
+            elif op.name == "memref.load" and guarded_trip:
+                base = memref_d.load_op_ref(op)
+                if id(base) not in written and -1 not in written:
+                    hoist = True
+            if not hoist:
+                continue
+            op.detach()
+            parent.insert(parent.index_of(loop), op)
+            for result in op.results:
+                inside.discard(result)
+            self.changed = True

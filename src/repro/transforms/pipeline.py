@@ -1,0 +1,36 @@
+"""Standard optimization pipelines."""
+
+from __future__ import annotations
+
+from ..ir import Module, PassManager
+from .barrier_elim import BarrierElimination
+from .canonicalize import Canonicalize
+from .cse import CSE
+from .dce import DCE
+from .licm import LICM
+from .load_elim import RedundantLoadElimination
+
+
+def default_cleanup_pipeline(parallel_optimizations: bool = True
+                             ) -> PassManager:
+    """The cleanup pipeline run before and after coarsening.
+
+    With ``parallel_optimizations`` disabled only the classical scalar
+    cleanups run — this models the paper's "Polygeist-GPU without
+    optimizations" configuration used as the clang-parity baseline in
+    Fig. 16.
+    """
+    passes = [Canonicalize(), CSE(), RedundantLoadElimination()]
+    if parallel_optimizations:
+        passes.append(LICM())
+        passes.append(BarrierElimination())
+    passes.append(DCE())
+    # transforms are verified by the test suite; verifying after every pass
+    # on every pipeline run is prohibitively slow for autotuning sweeps
+    return PassManager(passes, verify=False)
+
+
+def run_cleanup(module: Module, parallel_optimizations: bool = True,
+                max_iterations: int = 8) -> None:
+    pipeline = default_cleanup_pipeline(parallel_optimizations)
+    pipeline.run_until_fixpoint(module, max_iterations)

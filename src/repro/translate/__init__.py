@@ -1,0 +1,17 @@
+"""CUDA → AMD translation paths (§VII-D).
+
+Two routes, mirroring the paper's comparison:
+
+* :mod:`hipify` — a clone of AMD's source-to-source tool, including the
+  categories of manual intervention the paper reports (header swaps,
+  ``#ifdef`` guard removal, command-line changes);
+* :mod:`retarget` — the Polygeist-GPU way: nothing in the source changes,
+  the target-agnostic parallel IR is simply compiled against an AMD
+  architecture model.
+"""
+
+from .hipify import HipifyResult, hipify
+from .retarget import RetargetReport, retarget_ease_report
+
+__all__ = ["HipifyResult", "RetargetReport", "hipify",
+           "retarget_ease_report"]

@@ -1,0 +1,140 @@
+"""Tests for alternative code paths (multi-versioning, §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.interpreter import MemoryBuffer, run_module
+from repro.ir import F32, verify_module
+from repro.transforms import (generate_coarsening_alternatives,
+                              select_alternative)
+from repro.transforms.alternatives import find_alternatives, \
+    prune_alternatives
+
+SOURCE = """
+__global__ void k(float *in, float *out) {
+    __shared__ float tile[8];
+    int t = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + t;
+    tile[t] = in[g] * 2.0f;
+    __syncthreads();
+    out[g] = tile[7 - t];
+}
+"""
+
+DIVERGENT = """
+__global__ void k(float *out) {
+    __shared__ float s[8];
+    if (blockIdx.x > 0) {
+        s[threadIdx.x] = 1.0f;
+        __syncthreads();
+        out[blockIdx.x * 8 + threadIdx.x] = s[threadIdx.x];
+    }
+}
+"""
+
+
+def build(source=SOURCE):
+    unit = parse_translation_unit(source)
+    gen = ModuleGenerator(unit)
+    name = gen.get_launch_wrapper("k", 1, (8,))
+    wrapper = polygeist.find_gpu_wrappers(gen.module.op)[0]
+    return gen.module, name, wrapper
+
+
+CONFIGS = [
+    {"block_total": 1, "thread_total": 1},
+    {"block_total": 2, "thread_total": 1},
+    {"block_total": 1, "thread_total": 2},
+    {"block_total": 2, "thread_total": 2},
+]
+
+
+class TestGeneration:
+    def test_regions_created(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        verify_module(module)
+        assert report.op is not None
+        assert len(report.op.regions) == 4
+        assert len(polygeist.alternative_descs(report.op)) == 4
+        assert not report.rejected
+
+    def test_illegal_configs_rejected(self):
+        module, name, wrapper = build(DIVERGENT)
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        # block coarsening configs are illegal for this kernel
+        assert len(report.rejected) == 2
+        assert len(report.alternatives) == 2
+
+    def test_each_alternative_equivalent(self):
+        rng = np.random.default_rng(5)
+        data = rng.random(32, dtype=np.float32)
+
+        module, name, wrapper = build()
+        inp = MemoryBuffer((32,), F32, data=data)
+        reference = MemoryBuffer((32,), F32)
+        run_module(module, name, [4, inp, reference])
+
+        module2, name2, wrapper2 = build()
+        report = generate_coarsening_alternatives(wrapper2, CONFIGS)
+        verify_module(module2)
+        for index in range(len(report.op.regions)):
+            inp2 = MemoryBuffer((32,), F32, data=data)
+            out2 = MemoryBuffer((32,), F32)
+            run_module(module2, name2, [4, inp2, out2],
+                       alternative_selector=lambda op: index)
+            np.testing.assert_array_equal(out2.array, reference.array,
+                                          err_msg="alternative %d" % index)
+
+
+class TestSelection:
+    def test_select_splices_region(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        select_alternative(report.op, 3)
+        verify_module(module)
+        assert not find_alternatives(module.op)
+        # the selected config (block 2, thread 2) is in place
+        from repro.transforms.coarsen import block_parallels, \
+            thread_parallel
+        from repro.dialects import arith, scf
+        mains = block_parallels(wrapper, include_epilogues=False)
+        threads = thread_parallel(mains[0])
+        ub = scf.parallel_upper_bounds(threads)[0]
+        assert arith.constant_value(ub) == 4  # 8 / thread factor 2
+
+    def test_selected_module_runs(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        select_alternative(report.op, 1)
+        verify_module(module)
+        inp = MemoryBuffer((32,), F32,
+                           data=np.arange(32, dtype=np.float32))
+        out = MemoryBuffer((32,), F32)
+        run_module(module, name, [4, inp, out])
+        expected = (np.arange(32).reshape(4, 8) * 2)[:, ::-1].ravel()
+        np.testing.assert_array_equal(out.array,
+                                      expected.astype(np.float32))
+
+    def test_prune(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        prune_alternatives(report.op, [0, 2])
+        verify_module(module)
+        assert len(report.op.regions) == 2
+        descs = polygeist.alternative_descs(report.op)
+        assert len(descs) == 2
+
+    def test_prune_all_rejected(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        with pytest.raises(ValueError):
+            prune_alternatives(report.op, [])
+
+    def test_out_of_range_selection(self):
+        module, name, wrapper = build()
+        report = generate_coarsening_alternatives(wrapper, CONFIGS)
+        with pytest.raises(IndexError):
+            select_alternative(report.op, 9)

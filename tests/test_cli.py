@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+__global__ void scale(float *x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    x[i] = x[i] * a;
+}
+"""
+
+CUDA_HOST = """
+#include <cuda_runtime.h>
+__global__ void k(float *x) { x[threadIdx.x] = 1.0f; }
+void run(float *x) { cudaDeviceSynchronize(); }
+"""
+
+
+@pytest.fixture
+def cu_file(tmp_path):
+    path = tmp_path / "demo.cu"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestEmitIR:
+    def test_prints_parallel_ir(self, cu_file, capsys):
+        assert main(["emit-ir", cu_file, "--block", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "polygeist.gpu_wrapper" in out
+        assert '"scf.parallel"' in out
+        assert "gpu.kind" in out
+
+    def test_coarsening_applied(self, cu_file, capsys):
+        assert main(["emit-ir", cu_file, "--block", "128",
+                     "--thread-factor", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "coarsened: block=1 thread=2" in out
+        assert "coarsen.history" in out
+
+    def test_missing_kernel_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.cu"
+        path.write_text("void host_only() {}")
+        assert main(["emit-ir", str(path)]) == 1
+
+
+class TestTune:
+    def test_table_printed(self, cu_file, capsys):
+        assert main(["tune", cu_file, "scale", "--grid", "4096",
+                     "--block", "256", "--max-factor", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "block=1 thread=1" in out
+        assert "best:" in out
+        assert "A100" in out
+
+    def test_arch_selection(self, cu_file, capsys):
+        assert main(["tune", cu_file, "scale", "--arch", "rx6800",
+                     "--grid", "1024", "--block", "256",
+                     "--max-factor", "2"]) == 0
+        assert "RX6800" in capsys.readouterr().out
+
+
+class TestHipify:
+    def test_translation_and_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "host.cu"
+        path.write_text(CUDA_HOST)
+        code = main(["hipify", str(path)])
+        captured = capsys.readouterr()
+        assert "hipDeviceSynchronize" in captured.out
+        assert "hip/hip_runtime.h" in captured.out
+        assert code == 0  # header mapped automatically -> clean
+
+    def test_manual_fixes_nonzero_exit(self, tmp_path, capsys):
+        path = tmp_path / "bad.cu"
+        path.write_text('#include "helper_cuda.h"\n'
+                        "__global__ void k(float* p) { p[0] = 1.0f; }")
+        code = main(["hipify", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "MANUAL FIX NEEDED" in captured.err
+
+    def test_output_file(self, tmp_path):
+        path = tmp_path / "host.cu"
+        path.write_text(CUDA_HOST)
+        out = tmp_path / "host.hip.cpp"
+        main(["hipify", str(path), "-o", str(out)])
+        assert "hipDeviceSynchronize" in out.read_text()
+
+
+class TestTargets:
+    def test_all_four_listed(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("A4000", "A100", "RX6800", "MI210"):
+            assert name in out

@@ -1,0 +1,240 @@
+"""Unit tests for dialect builders, verifiers, and effect summaries."""
+
+import pytest
+
+from repro.ir import (Builder, F32, FunctionType, I1, INDEX, MemRefType,
+                      Module, VerificationError, verify_module)
+from repro.dialects import (arith, effects, func, gpu, math, memref,
+                            polygeist, scf)
+
+
+@pytest.fixture
+def ctx():
+    module = Module()
+    builder = Builder(module.body)
+    f = func.func(builder, "f", FunctionType((INDEX,), ()), ["n"])
+    return module, f, Builder(f.body_block())
+
+
+class TestArith:
+    def test_constant_types(self, ctx):
+        _, _, b = ctx
+        c = arith.constant(b, 3, F32)
+        assert c.type == F32
+        assert c.owner.attr("value") == 3.0
+        i = arith.index_constant(b, 5)
+        assert i.type == INDEX
+        assert arith.constant_value(i) == 5
+        assert arith.constant_value(arith.addi(b, i, i)) is None
+
+    def test_binary_type_propagation(self, ctx):
+        _, _, b = ctx
+        x = arith.constant(b, 1.0, F32)
+        y = arith.constant(b, 2.0, F32)
+        z = arith.addf(b, x, y)
+        assert z.type == F32
+
+    def test_unknown_binary_rejected(self, ctx):
+        _, _, b = ctx
+        x = arith.index_constant(b, 1)
+        with pytest.raises(ValueError):
+            arith.binary(b, "arith.bogus", x, x)
+
+    def test_cmp_produces_i1(self, ctx):
+        _, _, b = ctx
+        x = arith.index_constant(b, 1)
+        assert arith.cmpi(b, "lt", x, x).type == I1
+        with pytest.raises(ValueError):
+            arith.cmpi(b, "slt", x, x)
+
+    def test_select(self, ctx):
+        _, _, b = ctx
+        c = arith.constant(b, 1, I1)
+        x = arith.index_constant(b, 1)
+        y = arith.index_constant(b, 2)
+        assert arith.select(b, c, x, y).type == INDEX
+
+
+class TestMemref:
+    def test_load_store_rank_checked(self, ctx):
+        _, _, b = ctx
+        buf = memref.alloca(b, MemRefType((4, 4), F32, "shared"))
+        i = arith.index_constant(b, 0)
+        v = memref.load(b, buf, [i, i])
+        memref.store(b, v, buf, [i, i])
+        with pytest.raises(ValueError):
+            memref.load(b, buf, [i])
+        with pytest.raises(ValueError):
+            memref.store(b, v, buf, [i, i, i])
+
+    def test_alloca_requires_static_shape(self, ctx):
+        _, _, b = ctx
+        from repro.ir import DYNAMIC
+        with pytest.raises(ValueError):
+            memref.alloca(b, MemRefType((DYNAMIC,), F32, "shared"))
+
+    def test_access_helpers(self, ctx):
+        _, _, b = ctx
+        buf = memref.alloc(b, MemRefType((8,), F32))
+        i = arith.index_constant(b, 0)
+        v = memref.load(b, buf, [i])
+        store = memref.store(b, v, buf, [i])
+        assert memref.load_op_ref(v.owner) is buf
+        assert memref.load_op_ref(store) is buf
+        assert list(memref.access_indices(v.owner)) == [i]
+
+    def test_globals(self, ctx):
+        module, f, b = ctx
+        mb = Builder(module.body, 0)
+        memref.global_(mb, "table", MemRefType((16,), F32), constant=True)
+        value = memref.get_global(b, module.op, "table")
+        assert value.type == MemRefType((16,), F32)
+        with pytest.raises(KeyError):
+            memref.get_global(b, module.op, "missing")
+
+
+class TestScf:
+    def test_for_structure(self, ctx):
+        _, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c4 = arith.index_constant(b, 4)
+        c1 = arith.index_constant(b, 1)
+        init = arith.constant(b, 0.0, F32)
+        loop = scf.build_for(
+            b, c0, c4, c1, [init],
+            lambda bb, iv, iters: [iters[0]])
+        assert loop.num_results == 1
+        assert scf.for_iv(loop).type == INDEX
+        assert len(scf.for_iter_args(loop)) == 1
+
+    def test_parallel_accessors(self, ctx):
+        _, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c8 = arith.index_constant(b, 8)
+        c1 = arith.index_constant(b, 1)
+        par = scf.parallel(b, [c0, c0], [c8, c8], [c1, c1],
+                           gpu_kind=scf.KIND_THREADS)
+        assert scf.parallel_num_dims(par) == 2
+        assert scf.parallel_upper_bounds(par) == [c8, c8]
+        assert scf.parallel_steps(par) == [c1, c1]
+        assert len(scf.parallel_ivs(par)) == 2
+        assert scf.is_gpu_threads(par)
+        assert not scf.is_gpu_blocks(par)
+
+    def test_for_verifier_catches_missing_yield(self, ctx):
+        module, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        scf.for_(b, c0, c1, c1)  # body left without terminator
+        func.return_(b)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_if_verifier_checks_yield_arity(self, ctx):
+        module, _, b = ctx
+        cond = arith.constant(b, 1, I1)
+        if_op = scf.if_(b, cond, [F32])
+        then_b = Builder(scf.if_then_block(if_op))
+        scf.yield_(then_b, [arith.constant(then_b, 1.0, F32)])
+        else_b = Builder(scf.if_else_block(if_op))
+        scf.yield_(else_b, [])  # arity mismatch
+        func.return_(b)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+
+class TestPolygeist:
+    def test_barrier_scope_matching(self, ctx):
+        _, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c8 = arith.index_constant(b, 8)
+        c1 = arith.index_constant(b, 1)
+        outer = scf.parallel(b, [c0], [c8], [c1], gpu_kind="blocks")
+        ob = Builder(outer.body_block())
+        inner = scf.parallel(ob, [c0], [c8], [c1], gpu_kind="threads")
+        ib = Builder(inner.body_block())
+        bar = polygeist.barrier(ib, [inner.body_block().arg(0)])
+        scf.yield_(ib)
+        scf.yield_(ob)
+        assert polygeist.barrier_syncs_loop(bar, inner)
+        assert not polygeist.barrier_syncs_loop(bar, outer)
+
+    def test_barrier_rejects_non_iv_operand(self, ctx):
+        module, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        polygeist.barrier(b, [c0])
+        func.return_(b)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_alternatives_descs_checked(self, ctx):
+        _, _, b = ctx
+        from repro.ir import single_block_region
+        with pytest.raises(ValueError):
+            polygeist.alternatives(b, [single_block_region()], ["a", "b"])
+
+
+class TestGpuDialect:
+    def test_launch_accessors(self, ctx):
+        _, _, b = ctx
+        c1 = arith.index_constant(b, 1)
+        c2 = arith.index_constant(b, 2)
+        buf = memref.alloc(b, MemRefType((8,), F32))
+        launch = gpu.launch_func(b, "k", [c1, c2], [c2], [buf])
+        assert gpu.launch_grid(launch) == [c1, c2]
+        assert gpu.launch_block(launch) == [c2]
+        assert gpu.launch_args(launch) == [buf]
+
+    def test_launch_rejects_bad_dims(self, ctx):
+        _, _, b = ctx
+        c1 = arith.index_constant(b, 1)
+        with pytest.raises(ValueError):
+            gpu.launch_func(b, "k", [c1] * 4, [c1], [])
+
+
+class TestEffects:
+    def test_pure_classification(self, ctx):
+        _, _, b = ctx
+        c = arith.index_constant(b, 1)
+        add = arith.addi(b, c, c)
+        assert effects.is_pure(c.owner)
+        assert effects.is_pure(add.owner)
+        s = math.sqrt(b, arith.constant(b, 2.0, F32))
+        assert effects.is_pure(s.owner)
+
+    def test_memory_ops_not_pure(self, ctx):
+        _, _, b = ctx
+        buf = memref.alloc(b, MemRefType((8,), F32))
+        i = arith.index_constant(b, 0)
+        load = memref.load(b, buf, [i]).owner
+        store = memref.store(b, arith.constant(b, 0.0, F32), buf, [i])
+        assert not effects.is_pure(load)
+        assert effects.reads_memory(load)
+        assert not effects.has_side_effects(load)  # removable when unused
+        assert effects.writes_memory(store)
+        assert effects.has_side_effects(store)
+
+    def test_region_effects_propagate(self, ctx):
+        _, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        buf = memref.alloc(b, MemRefType((8,), F32))
+        loop = scf.for_(b, c0, c1, c1)
+        lb = Builder(loop.body_block())
+        memref.store(lb, arith.constant(lb, 0.0, F32), buf, [c0])
+        scf.yield_(lb)
+        assert effects.writes_memory(loop)
+        assert effects.has_side_effects(loop)
+        assert not effects.is_pure(loop)
+
+    def test_barrier_is_sync(self, ctx):
+        _, _, b = ctx
+        c0 = arith.index_constant(b, 0)
+        c8 = arith.index_constant(b, 8)
+        c1 = arith.index_constant(b, 1)
+        par = scf.parallel(b, [c0], [c8], [c1], gpu_kind="threads")
+        pb = Builder(par.body_block())
+        polygeist.barrier(pb, [par.body_block().arg(0)])
+        scf.yield_(pb)
+        assert effects.is_sync(par)
+        assert effects.has_side_effects(par)

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "correctness: OK" in out
+    assert "TDO for" in out
+
+
+def test_coarsening_explorer(capsys):
+    run_example("coarsening_explorer.py")
+    out = capsys.readouterr().out
+    assert "ORIGINAL parallel representation" in out
+    assert "polygeist.barrier" in out
+    assert "EPILOGUE" in out
+    assert "barrier inside scf.if" in out  # the illegal case
+
+
+def test_autotune_lud_quick(capsys):
+    run_example("autotune_lud.py", ["quick"])
+    out = capsys.readouterr().out
+    assert "peak:" in out
+    assert "b=8" in out
+
+
+def test_retarget_amd(capsys):
+    run_example("retarget_amd.py")
+    out = capsys.readouterr().out
+    assert "MANUAL FIX" in out.upper() or "manual fixes REQUIRED" in out
+    assert "nw on AMD RX6800: OK" in out
+    assert "PERFORMANCE PORTABILITY" in out

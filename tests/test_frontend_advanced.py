@@ -1,0 +1,237 @@
+"""Advanced frontend behaviours: pointer merging, device-function chains,
+comma expressions, preprocessor interplay, host/device globals."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import CodegenError, ModuleGenerator, \
+    parse_translation_unit
+from repro.interpreter import Interpreter, MemoryBuffer, run_module
+from repro.ir import F32, F64, INDEX, verify_module
+
+
+def compile_kernel(source, kernel="k", grid_rank=1, block=(8,),
+                   defines=None):
+    unit = parse_translation_unit(source, defines)
+    generator = ModuleGenerator(unit)
+    wrapper = generator.get_launch_wrapper(kernel, grid_rank, block)
+    verify_module(generator.module)
+    return generator.module, wrapper
+
+
+class TestPointers:
+    def test_pointer_advanced_in_loop(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(float *data, int rows) {
+            float *p = data + threadIdx.x;
+            float acc = 0.0f;
+            for (int r = 0; r < rows; r++) {
+                acc += p[0];
+                p = p + 8;
+            }
+            data[threadIdx.x] = acc;
+        }
+        """)
+        data = np.arange(32, dtype=np.float32)
+        buf = MemoryBuffer((32,), F32, data=data)
+        run_module(module, wrapper, [1, buf, 4])
+        expected = data.reshape(4, 8).sum(axis=0).astype(np.float32)
+        np.testing.assert_array_equal(buf.array[:8], expected)
+
+    def test_pointer_selected_by_branch(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(float *data, int flip) {
+            float *p = data;
+            if (flip == 1) {
+                p = p + 8;
+            }
+            p[threadIdx.x] = 1.0f;
+        }
+        """)
+        buf = MemoryBuffer((16,), F32)
+        run_module(module, wrapper, [1, buf, 1])
+        assert buf.array[8:].sum() == 8
+        assert buf.array[:8].sum() == 0
+
+    def test_pointer_rebase_in_branch_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_kernel("""
+            __global__ void k(float *a, float *b) {
+                float *p = a;
+                if (threadIdx.x > 2) {
+                    p = b;   // different base buffer: unsupported merge
+                }
+                p[0] = 1.0f;
+            }
+            """)
+
+    def test_pointer_difference(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(int *out, float *data) {
+            float *p = data + 10;
+            float *q = data + 3;
+            out[threadIdx.x] = p - q;
+        }
+        """, block=(2,))
+        out = MemoryBuffer((2,), INDEX)
+        data = MemoryBuffer((16,), F32)
+        run_module(module, wrapper, [1, out, data])
+        assert list(out.array) == [7, 7]
+
+
+class TestDeviceFunctions:
+    def test_chained_inlining(self):
+        module, wrapper = compile_kernel("""
+        __device__ float twice(float v) { return v * 2.0f; }
+        __device__ float quad(float v) { return twice(twice(v)); }
+        __global__ void k(float *out) {
+            out[threadIdx.x] = quad(threadIdx.x + 1.0f);
+        }
+        """, block=(4,))
+        out = MemoryBuffer((4,), F32)
+        run_module(module, wrapper, [1, out])
+        np.testing.assert_array_equal(out.array, [4, 8, 12, 16])
+
+    def test_device_function_with_pointer_arg(self):
+        module, wrapper = compile_kernel("""
+        __device__ float first(float *p) { return p[0]; }
+        __global__ void k(float *out, float *data) {
+            out[threadIdx.x] = first(data + threadIdx.x);
+        }
+        """, block=(4,))
+        out = MemoryBuffer((4,), F32)
+        data = MemoryBuffer((8,), F32, data=np.arange(8, dtype=np.float32))
+        run_module(module, wrapper, [1, out, data])
+        np.testing.assert_array_equal(out.array, [0, 1, 2, 3])
+
+    def test_recursion_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_kernel("""
+            __device__ float f(float v) { return f(v); }
+            __global__ void k(float *out) { out[0] = f(1.0f); }
+            """)
+
+    def test_device_function_with_barrier(self):
+        """Barriers inside inlined device functions keep working."""
+        module, wrapper = compile_kernel("""
+        __device__ void sync_store(float *tile, int t, float v) {
+            tile[t] = v;
+            __syncthreads();
+        }
+        __global__ void k(float *out) {
+            __shared__ float tile[8];
+            sync_store(tile, threadIdx.x, (float)threadIdx.x);
+            out[threadIdx.x] = tile[7 - threadIdx.x];
+        }
+        """)
+        out = MemoryBuffer((8,), F32)
+        run_module(module, wrapper, [1, out])
+        np.testing.assert_array_equal(out.array,
+                                      np.arange(7, -1, -1,
+                                                dtype=np.float32))
+
+
+class TestExpressions:
+    def test_comma_in_for_increment(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(int *out) {
+            int a = 0;
+            int b = 0;
+            for (int i = 0; i < 4; i++) {
+                a = a + 1, b = b + 2;
+            }
+            out[0] = a;
+            out[1] = b;
+        }
+        """, block=(1,))
+        out = MemoryBuffer((2,), INDEX)
+        run_module(module, wrapper, [1, out])
+        assert list(out.array) == [4, 8]
+
+    def test_assignment_as_expression(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(int *out) {
+            int a;
+            int b = (a = 5) + 2;
+            out[0] = a;
+            out[1] = b;
+        }
+        """, block=(1,))
+        out = MemoryBuffer((2,), INDEX)
+        run_module(module, wrapper, [1, out])
+        assert list(out.array) == [5, 7]
+
+    def test_hex_and_char_literals(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(int *out) {
+            out[0] = 0xFF;
+            out[1] = 'A';
+        }
+        """, block=(1,))
+        out = MemoryBuffer((2,), INDEX)
+        run_module(module, wrapper, [1, out])
+        assert list(out.array) == [255, 65]
+
+    def test_float_int_mixed_promotion(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(float *out) {
+            int i = 3;
+            out[0] = i / 2;          // integer division first: 1
+            out[1] = i / 2.0f;       // float division: 1.5
+        }
+        """, block=(1,))
+        out = MemoryBuffer((2,), F32)
+        run_module(module, wrapper, [1, out])
+        assert list(out.array) == [1.0, 1.5]
+
+    def test_double_promotion(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(double *out) {
+            float f = 0.5f;
+            out[0] = f + 0.25;   // float + double literal -> double
+        }
+        """, block=(1,))
+        out = MemoryBuffer((1,), F64)
+        run_module(module, wrapper, [1, out])
+        assert out.array[0] == 0.75
+
+
+class TestGlobalsAndDefines:
+    def test_constant_global_readable(self):
+        source = """
+        __constant__ float coeffs[4];
+        __global__ void fill(int d) { coeffs[threadIdx.x] = 2.0f; }
+        __global__ void k(float *out) {
+            out[threadIdx.x] = coeffs[threadIdx.x] * 3.0f;
+        }
+        """
+        unit = parse_translation_unit(source)
+        generator = ModuleGenerator(unit)
+        w_fill = generator.get_launch_wrapper("fill", 1, (4,))
+        w_use = generator.get_launch_wrapper("k", 1, (4,))
+        interp = Interpreter(generator.module)
+        interp.run_func(w_fill, [1, 0])
+        out = MemoryBuffer((4,), F32)
+        interp.run_func(w_use, [1, out])
+        assert (out.array == 6.0).all()
+
+    def test_defines_parameterize_source(self):
+        module, wrapper = compile_kernel("""
+        __global__ void k(float *out) {
+            out[threadIdx.x] = SCALE * 1.0f;
+        }
+        """, defines={"SCALE": 4})
+        out = MemoryBuffer((8,), F32)
+        run_module(module, wrapper, [1, out])
+        assert (out.array == 4.0).all()
+
+    def test_macro_with_args_in_kernel(self):
+        module, wrapper = compile_kernel("""
+        #define IDX(b, t) ((b) * blockDim.x + (t))
+        __global__ void k(float *out) {
+            out[IDX(blockIdx.x, threadIdx.x)] = 1.0f;
+        }
+        """, block=(4,))
+        out = MemoryBuffer((8,), F32)
+        run_module(module, wrapper, [2, out])
+        assert out.array.sum() == 8

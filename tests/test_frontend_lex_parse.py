@@ -1,0 +1,212 @@
+"""Tests for the lexer, preprocessor, and C parser."""
+
+import pytest
+
+from repro.frontend import c_ast as ast
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.preprocessor import PreprocessorError, preprocess
+from repro.frontend.cparser import CParseError, parse_translation_unit
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 3.14 1.5f 2e3 1.f")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds[0] == ("int", 42)
+        assert kinds[1] == ("int", 31)
+        assert kinds[2] == ("float", 3.14)
+        assert kinds[3] == ("float", 1.5)
+        assert tokens[3].is_f32
+        assert kinds[4] == ("float", 2000.0)
+        assert kinds[5] == ("float", 1.0)
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b >>= c <<< d >>> e == f !=")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", ">>=", "<<<", ">>>", "==", "!="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line\n b /* block\nstill */ c")
+        names = [t.text for t in tokens if t.kind == "id"]
+        assert names == ["a", "b", "c"]
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("__global__ void f() { __shared__ float x; }")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "__global__"
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind == "id"]
+        assert lines == [1, 2, 4]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_string_and_char(self):
+        tokens = tokenize('"hi" \'x\'')
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hi"
+        assert tokens[1].kind == "char"
+        assert tokens[1].value == ord("x")
+
+
+class TestPreprocessor:
+    def test_object_macro(self):
+        assert "16" in preprocess("#define N 16\nint x = N;")
+
+    def test_function_macro(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nint y = SQ(a+1);")
+        assert "(((a+1))*((a+1)))" in out.replace(" ", "")
+
+    def test_nested_macros(self):
+        out = preprocess("#define A 4\n#define B (A+1)\nint x = B;")
+        assert "(4 +1)" in out or "(4+1)" in out.replace(" ", "")
+
+    def test_ifdef(self):
+        src = "#define GPU\n#ifdef GPU\nint a;\n#else\nint b;\n#endif"
+        out = preprocess(src)
+        assert "int a" in out and "int b" not in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef MISSING\nint a;\n#endif")
+        assert "int a" in out
+
+    def test_predefines(self):
+        out = preprocess("int x = WIDTH;", defines={"WIDTH": 128})
+        assert "128" in out
+
+    def test_include_ignored(self):
+        out = preprocess('#include <cuda.h>\nint x;')
+        assert "int x" in out
+        assert "include" not in out
+
+    def test_line_continuation(self):
+        out = preprocess("#define M(a) \\\n  (a+a)\nint x = M(2);")
+        assert "((2)+(2))" in out.replace(" ", "")
+
+    def test_undef(self):
+        out = preprocess("#define N 4\n#undef N\nint x = N;")
+        assert "x = N" in out
+
+    def test_self_referential_macro_terminates(self):
+        out = preprocess("#define x x+1\nint y = x;")
+        assert "x+1" in out
+
+    def test_hash_if(self):
+        out = preprocess("#define V 2\n#if V > 1\nint a;\n#endif")
+        assert "int a" in out
+
+
+class TestParser:
+    def test_kernel_signature(self):
+        unit = parse_translation_unit(
+            "__global__ void k(float *x, int n, double d) {}")
+        kernel = unit.functions["k"]
+        assert kernel.is_kernel
+        assert kernel.params[0][1].is_pointer
+        assert kernel.params[0][1].base == "float"
+        assert kernel.params[1][1].is_integer
+        assert kernel.params[2][1].base == "double"
+
+    def test_device_function(self):
+        unit = parse_translation_unit(
+            "__device__ float f(float a) { return a * 2.0f; }")
+        assert unit.functions["f"].is_device
+
+    def test_forward_declaration_skipped(self):
+        unit = parse_translation_unit(
+            "__global__ void k(int n);\n__global__ void k(int n) {}")
+        assert unit.functions["k"].body is not None
+
+    def test_shared_array_decl(self):
+        unit = parse_translation_unit(
+            "__global__ void k() { __shared__ float t[16][16]; }")
+        decl = unit.functions["k"].body.stmts[0].decls[0]
+        assert decl.shared
+        assert len(decl.type.array_dims) == 2
+
+    def test_precedence(self):
+        unit = parse_translation_unit("void f() { int x = 1 + 2 * 3; }")
+        init = unit.functions["f"].body.stmts[0].decls[0].init
+        assert isinstance(init, ast.BinOp) and init.op == "+"
+        assert isinstance(init.rhs, ast.BinOp) and init.rhs.op == "*"
+
+    def test_ternary_and_assign(self):
+        unit = parse_translation_unit("void f(int a) { int b = a ? 1 : 2; }")
+        init = unit.functions["f"].body.stmts[0].decls[0].init
+        assert isinstance(init, ast.Ternary)
+
+    def test_launch_statement(self):
+        unit = parse_translation_unit(
+            "__global__ void k(float* p) {}\n"
+            "void host(float* p, int n) { k<<<n / 256, 256>>>(p); }")
+        launch = unit.functions["host"].body.stmts[0]
+        assert isinstance(launch, ast.KernelLaunch)
+        assert launch.name == "k"
+        assert isinstance(launch.grid, ast.BinOp)
+        assert isinstance(launch.block, ast.IntLit)
+
+    def test_launch_with_dim3(self):
+        unit = parse_translation_unit(
+            "__global__ void k() {}\n"
+            "void host(int gx) { dim3 g(gx, gx); dim3 b(16, 16);"
+            " k<<<g, b>>>(); }")
+        stmts = unit.functions["host"].body.stmts
+        assert isinstance(stmts[-1], ast.KernelLaunch)
+
+    def test_for_loop_forms(self):
+        unit = parse_translation_unit(
+            "void f(int n) { for (int i = 0; i < n; i++) {}"
+            " for (int j = n; j > 0; j--) {} }")
+        loops = unit.functions["f"].body.stmts
+        assert isinstance(loops[0], ast.For)
+        assert isinstance(loops[1], ast.For)
+
+    def test_cast_expression(self):
+        unit = parse_translation_unit("void f(int a) { float x = (float)a; }")
+        init = unit.functions["f"].body.stmts[0].decls[0].init
+        assert isinstance(init, ast.Cast)
+        assert init.type.base == "float"
+
+    def test_member_access(self):
+        unit = parse_translation_unit(
+            "__global__ void k(int* o) { o[0] = threadIdx.x; }")
+        stmt = unit.functions["k"].body.stmts[0]
+        assert isinstance(stmt.expr.value, ast.Member)
+
+    def test_global_device_array(self):
+        unit = parse_translation_unit("__device__ float lut[256];")
+        assert unit.globals[0].decl.name == "lut"
+        assert unit.globals[0].device
+
+    def test_constant_qualifier(self):
+        unit = parse_translation_unit("__constant__ float coeffs[8];")
+        assert unit.globals[0].decl.constant
+
+    def test_sizeof(self):
+        unit = parse_translation_unit("void f() { int s = sizeof(float); }")
+        init = unit.functions["f"].body.stmts[0].decls[0].init
+        assert isinstance(init, ast.IntLit) and init.value == 4
+
+    def test_do_while(self):
+        unit = parse_translation_unit(
+            "void f(int n) { int i = 0; do { i++; } while (i < n); }")
+        assert isinstance(unit.functions["f"].body.stmts[1], ast.DoWhile)
+
+    def test_error_position_reported(self):
+        with pytest.raises(CParseError) as info:
+            parse_translation_unit("void f() { int = 3; }")
+        assert "line" in str(info.value)
+
+    def test_multi_declarator(self):
+        unit = parse_translation_unit("void f() { int a = 1, b = 2; }")
+        decls = unit.functions["f"].body.stmts[0].decls
+        assert [d.name for d in decls] == ["a", "b"]
+
+    def test_unsigned_normalized(self):
+        unit = parse_translation_unit("void f(unsigned int a, size_t b) {}")
+        params = unit.functions["f"].params
+        assert params[0][1].base == "uint"
+        assert params[1][1].base == "long"

@@ -1,0 +1,130 @@
+"""Tests for the heuristic factor selector (§VIII-A future work)."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import choose_factors, heuristic_tune
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.interpreter import MemoryBuffer, run_module
+from repro.ir import F32, verify_module
+from repro.targets import A100
+from repro.transforms import run_cleanup
+from repro.transforms.coarsen import block_parallels
+
+
+def build(source, kernel="k", block=(256,), grid_rank=1):
+    unit = parse_translation_unit(source)
+    generator = ModuleGenerator(unit)
+    name = generator.get_launch_wrapper(kernel, grid_rank, block)
+    run_cleanup(generator.module)
+    wrapper = polygeist.find_gpu_wrappers(generator.module.op)[0]
+    return generator.module, name, wrapper
+
+
+SMALL_BLOCK = """
+__global__ void k(float *a, float *b) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    b[i] = a[i] * 2.0f;
+}
+"""
+
+FULL_OCCUPANCY = """
+__global__ void k(float *a) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    a[i] = a[i] + 1.0f;
+}
+"""
+
+SHARED_HEAVY = """
+__global__ void k(float *a) {
+    __shared__ float tile[8192];
+    int t = threadIdx.x;
+    tile[t] = a[blockIdx.x * blockDim.x + t];
+    __syncthreads();
+    a[blockIdx.x * blockDim.x + t] = tile[t] + tile[(t + 1) % 8192];
+}
+"""
+
+
+class TestChooseFactors:
+    def test_underoccupied_small_blocks_get_block_coarsening(self):
+        module, name, wrapper = build(SMALL_BLOCK, block=(16,))
+        choice = choose_factors(block_parallels(wrapper)[0], A100)
+        assert choice.block_total > 1
+        assert choice.reasons
+
+    def test_full_occupancy_left_alone_or_mild(self):
+        module, name, wrapper = build(FULL_OCCUPANCY, block=(256,))
+        choice = choose_factors(block_parallels(wrapper)[0], A100)
+        assert choice.block_total * choice.thread_total <= 4
+
+    def test_shared_capacity_caps_block_factor(self):
+        module, name, wrapper = build(SHARED_HEAVY, block=(256,))
+        choice = choose_factors(block_parallels(wrapper)[0], A100)
+        # 32 KB/block: only one doubling fits under the 48 KB limit
+        assert choice.block_total <= 1 or \
+            choice.block_total * 32 * 1024 <= A100.shared_mem_per_block
+
+    def test_thread_factor_keeps_full_warps(self):
+        module, name, wrapper = build(SMALL_BLOCK, block=(32,))
+        choice = choose_factors(block_parallels(wrapper)[0], A100)
+        assert choice.thread_total == 1  # 32 threads: halving breaks warps
+
+
+class TestHeuristicTune:
+    def test_applies_in_place(self):
+        module, name, wrapper = build(SMALL_BLOCK, block=(16,))
+        choice = heuristic_tune(wrapper, A100)
+        verify_module(module)
+        assert choice is not None
+        main = block_parallels(wrapper, include_epilogues=False)[0]
+        if choice.block_total > 1:
+            assert main.attr("coarsen.history")
+
+    def test_correctness_preserved(self):
+        module, name, wrapper = build(SMALL_BLOCK, block=(16,))
+        heuristic_tune(wrapper, A100)
+        run_cleanup(module)
+        verify_module(module)
+        a = MemoryBuffer((256,), F32,
+                         data=np.arange(256, dtype=np.float32))
+        b = MemoryBuffer((256,), F32)
+        run_module(module, name, [16, a, b])
+        np.testing.assert_array_equal(
+            b.array, np.arange(256, dtype=np.float32) * 2)
+
+    def test_illegal_choice_degrades_gracefully(self):
+        source = """
+        __global__ void k(float *out, float *in) {
+            __shared__ float s[16];
+            float v = in[blockIdx.x * 16 + threadIdx.x];
+            out[blockIdx.x * 16 + threadIdx.x] = v;
+            if (blockIdx.x > 0) {
+                s[threadIdx.x] = v;
+                __syncthreads();
+                out[blockIdx.x * 16 + threadIdx.x] = s[threadIdx.x];
+            }
+        }
+        """
+        module, name, wrapper = build(source, block=(16,))
+        choice = heuristic_tune(wrapper, A100)
+        verify_module(module)
+        # block coarsening is illegal here (barrier under block-dependent
+        # control flow); the heuristic wanted it but must degrade
+        assert choice.block_total == 1
+        assert any("illegal" in reason for reason in choice.reasons)
+
+
+class TestHeuristicTier:
+    def test_program_tier(self):
+        from repro.pipeline import Program
+        from repro.runtime import GPURuntime
+        program = Program(SMALL_BLOCK, arch=A100,
+                          tier="polygeist-heuristic")
+        runtime = GPURuntime(A100)
+        data = runtime.to_device(np.ones(256, dtype=np.float32))
+        out = runtime.malloc(256, np.float32)
+        program.launch("k", 16, 16, [data, out], runtime=runtime)
+        np.testing.assert_array_equal(runtime.to_host(out), 2.0)
+        assert program.heuristic_choices

@@ -1,0 +1,395 @@
+"""Interpreter tests: arithmetic, control flow, and GPU barrier semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, func, math, memref, polygeist, scf
+from repro.interpreter import (ConvergenceError, Interpreter,
+                               InterpreterError, MemoryBuffer, run_module)
+from repro.ir import (Builder, F32, F64, FunctionType, I1, I32, INDEX,
+                      MemRefType, Module, verify_module)
+
+
+def new_func(module, name, inputs, arg_names=()):
+    builder = Builder(module.body)
+    f = func.func(builder, name, FunctionType(tuple(inputs), ()), arg_names)
+    return f, Builder(f.body_block())
+
+
+class TestScalars:
+    def test_integer_arithmetic(self):
+        module = Module()
+        f, b = new_func(module, "main", (INDEX,), ["out"])
+        # compute ((7*3) - 5) / 2 == 8 into nothing; check via buffer
+        buf_type = MemRefType((1,), INDEX)
+        builder = b
+        c7 = arith.index_constant(builder, 7)
+        c3 = arith.index_constant(builder, 3)
+        c5 = arith.index_constant(builder, 5)
+        c2 = arith.index_constant(builder, 2)
+        c0 = arith.index_constant(builder, 0)
+        v = arith.divsi(builder, arith.subi(
+            builder, arith.muli(builder, c7, c3), c5), c2)
+        buf = memref.alloc(builder, buf_type)
+        memref.store(builder, v, buf, [c0])
+        func.return_(builder)
+        verify_module(module)
+        # host arg is unused; pass 0
+        interp = Interpreter(module)
+        interp.run_func("main", [0])
+
+    def test_c_style_division(self):
+        # -7 / 2 must be -3 (truncation), not -4 (floor)
+        from repro.interpreter.interp import _trunc_div, _trunc_rem
+        assert _trunc_div(-7, 2) == -3
+        assert _trunc_rem(-7, 2) == -1
+        assert _trunc_div(7, -2) == -3
+        assert _trunc_div(7, 2) == 3
+        with pytest.raises(InterpreterError):
+            _trunc_div(1, 0)
+
+    def test_float32_precision(self):
+        """f32 arithmetic must round like numpy float32 (for correctness
+        comparisons against CPU references)."""
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((1,), F32),), ["out"])
+        x = arith.constant(b, 0.1, F32)
+        y = arith.constant(b, 0.2, F32)
+        z = arith.addf(b, x, y)
+        c0 = arith.index_constant(b, 0)
+        memref.store(b, z, f.body_block().arg(0), [c0])
+        func.return_(b)
+        out = MemoryBuffer((1,), F32)
+        run_module(module, "main", [out])
+        expected = np.float32(0.1) + np.float32(0.2)
+        assert out.array[0] == expected
+
+    def test_math_ops(self):
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((2,), F32),), ["out"])
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        x = arith.constant(b, 4.0, F32)
+        memref.store(b, math.sqrt(b, x), f.body_block().arg(0), [c0])
+        memref.store(b, math.exp(b, arith.constant(b, 0.0, F32)),
+                     f.body_block().arg(0), [c1])
+        func.return_(b)
+        out = MemoryBuffer((2,), F32)
+        run_module(module, "main", [out])
+        assert out.array[0] == 2.0
+        assert out.array[1] == 1.0
+
+
+class TestControlFlow:
+    def _sum_loop_module(self):
+        """for i in [0, n): acc += i; out[0] = acc"""
+        module = Module()
+        f, b = new_func(module, "main",
+                        (INDEX, MemRefType((1,), INDEX)), ["n", "out"])
+        n, out = f.body_block().args
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        loop = scf.build_for(
+            b, c0, n, c1, [c0],
+            lambda bb, iv, iters: [arith.addi(bb, iters[0], iv)])
+        memref.store(b, loop.result(), out, [c0])
+        func.return_(b)
+        verify_module(module)
+        return module
+
+    def test_for_with_iter_args(self):
+        module = self._sum_loop_module()
+        out = MemoryBuffer((1,), INDEX)
+        run_module(module, "main", [10, out])
+        assert out.array[0] == 45
+
+    def test_for_zero_trip(self):
+        module = self._sum_loop_module()
+        out = MemoryBuffer((1,), INDEX)
+        run_module(module, "main", [0, out])
+        assert out.array[0] == 0
+
+    def test_if_results(self):
+        module = Module()
+        f, b = new_func(module, "main",
+                        (INDEX, MemRefType((1,), INDEX)), ["n", "out"])
+        n, out = f.body_block().args
+        c5 = arith.index_constant(b, 5)
+        c0 = arith.index_constant(b, 0)
+        cond = arith.cmpi(b, "lt", n, c5)
+        if_op = scf.if_(b, cond, [INDEX])
+        tb = Builder(scf.if_then_block(if_op))
+        scf.yield_(tb, [arith.index_constant(tb, 100)])
+        eb = Builder(scf.if_else_block(if_op))
+        scf.yield_(eb, [arith.index_constant(eb, 200)])
+        memref.store(b, if_op.result(), out, [c0])
+        func.return_(b)
+        verify_module(module)
+        out_buf = MemoryBuffer((1,), INDEX)
+        run_module(module, "main", [3, out_buf])
+        assert out_buf.array[0] == 100
+        run_module(module, "main", [7, out_buf])
+        assert out_buf.array[0] == 200
+
+    def test_while_loop(self):
+        # while (x < 100) x *= 2   with x starting at n
+        module = Module()
+        f, b = new_func(module, "main",
+                        (INDEX, MemRefType((1,), INDEX)), ["n", "out"])
+        n, out = f.body_block().args
+        c0 = arith.index_constant(b, 0)
+        c100 = arith.index_constant(b, 100)
+        c2 = arith.index_constant(b, 2)
+        w = scf.while_(b, [n], [INDEX])
+        before = Builder(w.body_block(0))
+        x = w.body_block(0).arg(0)
+        cond = arith.cmpi(before, "lt", x, c100)
+        scf.condition(before, cond, [x])
+        after = Builder(w.body_block(1))
+        x2 = w.body_block(1).arg(0)
+        scf.yield_(after, [arith.muli(after, x2, c2)])
+        memref.store(b, w.result(), out, [c0])
+        func.return_(b)
+        verify_module(module)
+        out_buf = MemoryBuffer((1,), INDEX)
+        run_module(module, "main", [3, out_buf])
+        assert out_buf.array[0] == 192  # 3,6,12,24,48,96,192
+
+    def test_call(self):
+        module = Module()
+        g, gb = new_func(module, "store42", (MemRefType((1,), INDEX),),
+                         ["out"])
+        c0 = arith.index_constant(gb, 0)
+        memref.store(gb, arith.index_constant(gb, 42),
+                     g.body_block().arg(0), [c0])
+        func.return_(gb)
+        f, fb = new_func(module, "main", (MemRefType((1,), INDEX),), ["out"])
+        func.call(fb, "store42", [f.body_block().arg(0)], [])
+        func.return_(fb)
+        verify_module(module)
+        out = MemoryBuffer((1,), INDEX)
+        run_module(module, "main", [out])
+        assert out.array[0] == 42
+
+
+def build_gpu_kernel(body_fn, num_threads=8, num_blocks=2,
+                     out_shape=(16,), out_elem=F32):
+    """Scaffold: main(out) { wrapper { parallel blocks { parallel threads
+    { body_fn } } } }."""
+    module = Module()
+    f, b = new_func(Module() if False else module, "main",
+                    (MemRefType(out_shape, out_elem),), ["out"])
+    out = f.body_block().arg(0)
+    c0 = arith.index_constant(b, 0)
+    c1 = arith.index_constant(b, 1)
+    nb = arith.index_constant(b, num_blocks)
+    nt = arith.index_constant(b, num_threads)
+    wrapper = polygeist.gpu_wrapper(b, "k")
+    wb = Builder(wrapper.body_block())
+    blocks = scf.parallel(wb, [c0], [nb], [c1], gpu_kind="blocks",
+                          iv_names=["bx"])
+    bb = Builder(blocks.body_block())
+    threads = scf.parallel(bb, [c0], [nt], [c1], gpu_kind="threads",
+                           iv_names=["tx"])
+    tb = Builder(threads.body_block())
+    # builder positioned *before* the thread loop, for shared allocas
+    block_builder = Builder(blocks.body_block(), 0)
+    body_fn(module, block_builder, tb, blocks.body_block().arg(0),
+            threads.body_block().arg(0), out,
+            {"c0": c0, "c1": c1, "nt": nt, "nb": nb})
+    # fresh builders: block_builder insertions invalidated bb's index
+    scf.yield_(Builder(threads.body_block()))
+    scf.yield_(Builder(blocks.body_block()))
+    func.return_(b)
+    verify_module(module)
+    return module
+
+
+class TestGpuExecution:
+    def test_parallel_writes_all_threads(self):
+        def body(module, bb, tb, bx, tx, out, consts):
+            nt = consts["nt"]
+            gid = arith.addi(tb, arith.muli(tb, bx, nt), tx)
+            value = arith.sitofp(tb, arith.index_cast(tb, gid, I32), F32)
+            memref.store(tb, value, out, [gid])
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        run_module(module, "main", [out])
+        np.testing.assert_array_equal(out.array, np.arange(16,
+                                                           dtype=np.float32))
+
+    def test_barrier_orders_shared_memory(self):
+        """Classic reverse-through-shared-memory: requires the barrier."""
+        def body(module, bb, tb, bx, tx, out, consts):
+            shared = memref.alloca(bb, MemRefType((8,), F32, "shared"))
+            # move alloca before the thread loop: builder bb inserts at end,
+            # so reposition is needed; simply create in bb before threads is
+            # not possible after the fact — instead allocate via tb's parent.
+            nt = consts["nt"]
+            c7 = arith.index_constant(tb, 7)
+            value = arith.sitofp(tb, arith.index_cast(tb, tx, I32), F32)
+            memref.store(tb, value, shared, [tx])
+            polygeist.barrier(tb, [tx])
+            rev = arith.subi(tb, c7, tx)
+            loaded = memref.load(tb, shared, [rev])
+            gid = arith.addi(tb, arith.muli(tb, bx, nt), tx)
+            memref.store(tb, loaded, out, [gid])
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        run_module(module, "main", [out])
+        expected = np.concatenate([np.arange(7, -1, -1), np.arange(7, -1, -1)]
+                                  ).astype(np.float32)
+        np.testing.assert_array_equal(out.array, expected)
+
+    def test_shared_memory_is_per_block(self):
+        """Block 0 writes shared memory; block 1 must not see it."""
+        def body(module, bb, tb, bx, tx, out, consts):
+            shared = memref.alloca(bb, MemRefType((8,), F32, "shared"))
+            c0 = arith.index_constant(tb, 0)
+            is_block0 = arith.cmpi(tb, "eq", bx, c0)
+            if_op = scf.if_(tb, is_block0, [])
+            then_b = Builder(scf.if_then_block(if_op))
+            memref.store(then_b, arith.constant(then_b, 5.0, F32),
+                         shared, [tx])
+            scf.yield_(then_b)
+            scf.yield_(Builder(scf.if_else_block(if_op)))
+            polygeist.barrier(tb, [tx])
+            nt = consts["nt"]
+            gid = arith.addi(tb, arith.muli(tb, bx, nt), tx)
+            memref.store(tb, memref.load(tb, shared, [tx]), out, [gid])
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        run_module(module, "main", [out])
+        assert (out.array[:8] == 5.0).all()
+        assert (out.array[8:] == 0.0).all()
+
+    def test_divergent_barrier_detected(self):
+        """A barrier under thread-dependent control flow must raise."""
+        def body(module, bb, tb, bx, tx, out, consts):
+            c4 = arith.index_constant(tb, 4)
+            cond = arith.cmpi(tb, "lt", tx, c4)
+            if_op = scf.if_(tb, cond, [])
+            then_b = Builder(scf.if_then_block(if_op))
+            polygeist.barrier(then_b, [tx])
+            scf.yield_(then_b)
+            scf.yield_(Builder(scf.if_else_block(if_op)))
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        with pytest.raises(ConvergenceError):
+            run_module(module, "main", [out])
+
+    def test_two_dimensional_threads_linearized_x_fastest(self):
+        """Thread (x, y) has linear id x + y * Dx, like CUDA."""
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((12,), INDEX),), ["out"])
+        out = f.body_block().arg(0)
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        c4 = arith.index_constant(b, 4)
+        c3 = arith.index_constant(b, 3)
+        wrapper = polygeist.gpu_wrapper(b, "k")
+        wb = Builder(wrapper.body_block())
+        blocks = scf.parallel(wb, [c0], [c1], [c1], gpu_kind="blocks")
+        bb = Builder(blocks.body_block())
+        threads = scf.parallel(bb, [c0, c0], [c4, c3], [c1, c1],
+                               gpu_kind="threads", iv_names=["tx", "ty"])
+        tb = Builder(threads.body_block())
+        tx, ty = threads.body_block().args
+        gid = arith.addi(tb, tx, arith.muli(tb, ty, c4))
+        memref.store(tb, gid, out, [gid])
+        scf.yield_(tb)
+        scf.yield_(bb)
+        func.return_(b)
+        verify_module(module)
+        out_buf = MemoryBuffer((12,), INDEX)
+        run_module(module, "main", [out_buf])
+        np.testing.assert_array_equal(out_buf.array, np.arange(12))
+
+    def test_atomic_rmw(self):
+        """All 16 threads atomically add into one cell."""
+        def body(module, bb, tb, bx, tx, out, consts):
+            c0 = arith.index_constant(tb, 0)
+            one = arith.constant(tb, 1.0, F32)
+            memref.atomic_rmw(tb, "addf", one, out, [c0])
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        run_module(module, "main", [out])
+        assert out.array[0] == 16.0
+
+
+class TestTracer:
+    def test_tracer_sees_accesses_and_barriers(self):
+        from repro.interpreter import Tracer
+
+        class Recorder(Tracer):
+            def __init__(self):
+                self.loads, self.stores, self.barriers = [], [], []
+
+            def on_load(self, buffer, linear, nbytes, block, thread,
+                        op=None):
+                self.loads.append((buffer.space, linear, block, thread))
+
+            def on_store(self, buffer, linear, nbytes, block, thread,
+                         op=None):
+                self.stores.append((buffer.space, linear, block, thread))
+
+            def on_barrier(self, block):
+                self.barriers.append(block)
+
+        def body(module, bb, tb, bx, tx, out, consts):
+            shared = memref.alloca(bb, MemRefType((8,), F32, "shared"))
+            value = arith.constant(tb, 1.0, F32)
+            memref.store(tb, value, shared, [tx])
+            polygeist.barrier(tb, [tx])
+            nt = consts["nt"]
+            gid = arith.addi(tb, arith.muli(tb, bx, nt), tx)
+            memref.store(tb, memref.load(tb, shared, [tx]), out, [gid])
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        recorder = Recorder()
+        run_module(module, "main", [out], tracer=recorder)
+        # 2 blocks x 8 threads: 8 shared + 8 global stores per block
+        shared_stores = [s for s in recorder.stores if s[0] == "shared"]
+        global_stores = [s for s in recorder.stores if s[0] == "global"]
+        assert len(shared_stores) == 16
+        assert len(global_stores) == 16
+        assert len(recorder.loads) == 16
+        assert len(recorder.barriers) == 16  # one event per thread
+        # thread ids are present during GPU execution
+        assert all(t is not None for (_, _, _, t) in recorder.stores)
+
+
+class TestMemoryBuffer:
+    def test_bounds_checked(self):
+        buf = MemoryBuffer((4, 4), F32)
+        with pytest.raises(IndexError):
+            buf.load([4, 0])
+        with pytest.raises(IndexError):
+            buf.load([0, -1])
+        with pytest.raises(IndexError):
+            buf.load([0])
+
+    def test_row_major_linearization(self):
+        buf = MemoryBuffer((2, 3), F32)
+        assert buf.linear_index([0, 0]) == 0
+        assert buf.linear_index([0, 2]) == 2
+        assert buf.linear_index([1, 0]) == 3
+        assert buf.linear_index([1, 2]) == 5
+
+    def test_for_type_with_dynamic_dims(self):
+        from repro.ir import DYNAMIC
+        type_ = MemRefType((DYNAMIC, 4), F32)
+        buf = MemoryBuffer.for_type(type_, [3])
+        assert buf.shape == (3, 4)
+
+    def test_data_initialization_copies(self):
+        data = np.ones(4, dtype=np.float32)
+        buf = MemoryBuffer((4,), F32, data=data)
+        data[0] = 99
+        assert buf.array[0] == 1.0

@@ -1,0 +1,246 @@
+"""Unit tests for the IR core: values, operations, blocks, cloning."""
+
+import pytest
+
+from repro.ir import (Block, Builder, F32, INDEX, I32, Module, Operation,
+                      Region, VerificationError, single_block_region,
+                      verify_module, verify_op)
+from repro.dialects import arith, func, scf
+
+
+def make_func(name="f", inputs=(INDEX,), arg_names=("n",)):
+    from repro.ir import FunctionType
+    module = Module()
+    builder = Builder(module.body)
+    f = func.func(builder, name, FunctionType(tuple(inputs), ()), arg_names)
+    return module, f, Builder(f.body_block())
+
+
+class TestValues:
+    def test_result_links_to_owner(self):
+        op = Operation("test.op", [], [I32, F32])
+        assert op.result(0).owner is op
+        assert op.result(1).index == 1
+
+    def test_use_list_tracks_operands(self):
+        producer = Operation("test.producer", [], [I32])
+        value = producer.result()
+        consumer = Operation("test.consumer", [value, value], [])
+        assert len(value.uses) == 2
+        assert value.users == [consumer]
+
+    def test_replace_all_uses(self):
+        p1 = Operation("test.p1", [], [I32])
+        p2 = Operation("test.p2", [], [I32])
+        consumer = Operation("test.c", [p1.result()], [])
+        p1.result().replace_all_uses_with(p2.result())
+        assert consumer.operand(0) is p2.result()
+        assert not p1.result().has_uses()
+        assert len(p2.result().uses) == 1
+
+    def test_replace_uses_if(self):
+        p1 = Operation("test.p1", [], [I32])
+        p2 = Operation("test.p2", [], [I32])
+        c1 = Operation("test.keep", [p1.result()], [])
+        c2 = Operation("test.swap", [p1.result()], [])
+        p1.result().replace_uses_if(p2.result(),
+                                    lambda op: op.name == "test.swap")
+        assert c1.operand(0) is p1.result()
+        assert c2.operand(0) is p2.result()
+
+    def test_set_operand_updates_uses(self):
+        p1 = Operation("test.p1", [], [I32])
+        p2 = Operation("test.p2", [], [I32])
+        c = Operation("test.c", [p1.result()], [])
+        c.set_operand(0, p2.result())
+        assert not p1.result().has_uses()
+        assert p2.result().users == [c]
+
+
+class TestStructure:
+    def test_parent_links(self):
+        module, f, builder = make_func()
+        c = arith.index_constant(builder, 4)
+        func.return_(builder)
+        assert c.owner.parent is f.body_block()
+        assert c.owner.parent_op is f
+        assert f.parent_op is module.op
+
+    def test_ancestors(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c4 = arith.index_constant(builder, 4)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c4, c1)
+        inner = Builder(loop.body_block())
+        inner_const = arith.index_constant(inner, 7)
+        scf.yield_(inner)
+        func.return_(builder)
+        chain = list(inner_const.owner.ancestors())
+        assert chain[0] is loop
+        assert chain[1] is f
+        assert chain[2] is module.op
+        assert loop.is_ancestor_of(inner_const.owner)
+        assert not inner_const.owner.is_ancestor_of(loop)
+
+    def test_erase_detaches_and_drops_uses(self):
+        module, f, builder = make_func()
+        c = arith.index_constant(builder, 3)
+        use = builder.create("test.use", [c], [])
+        func.return_(builder)
+        use.erase()
+        assert not c.has_uses()
+        assert use not in f.body_block().ops
+
+    def test_erase_with_live_uses_raises(self):
+        _, _, builder = make_func()
+        c = arith.index_constant(builder, 3)
+        builder.create("test.use", [c], [])
+        with pytest.raises(ValueError):
+            c.owner.erase()
+
+    def test_walk_order(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c4 = arith.index_constant(builder, 4)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c4, c1)
+        inner = Builder(loop.body_block())
+        arith.index_constant(inner, 9)
+        scf.yield_(inner)
+        func.return_(builder)
+        pre, post = [], []
+        module.op.walk_preorder(lambda op: pre.append(op.name))
+        module.op.walk(lambda op: post.append(op.name))
+        assert pre[0] == "builtin.module"
+        assert post[-1] == "builtin.module"
+        assert pre.index("scf.for") < pre.index("scf.yield")
+
+
+class TestClone:
+    def test_clone_remaps_nested_values(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c8 = arith.index_constant(builder, 8)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c8, c1)
+        inner = Builder(loop.body_block())
+        iv = loop.body_block().arg(0)
+        doubled = arith.addi(inner, iv, iv)
+        scf.yield_(inner)
+        func.return_(builder)
+
+        clone = loop.clone()
+        # The clone's nested add must reference the clone's own iv.
+        cloned_add = clone.body_block().ops[0]
+        assert cloned_add.operand(0) is clone.body_block().arg(0)
+        assert cloned_add.operand(0) is not iv
+        # External operands (bounds) are shared when not in the map.
+        assert clone.operand(0) is c0
+
+    def test_clone_with_value_map(self):
+        _, _, builder = make_func()
+        a = arith.index_constant(builder, 1)
+        b = arith.index_constant(builder, 2)
+        add = arith.addi(builder, a, b).owner
+        clone = add.clone({a: b})
+        assert clone.operand(0) is b
+        assert clone.operand(1) is b
+
+    def test_clone_preserves_attributes_deeply(self):
+        _, _, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c1 = arith.index_constant(builder, 1)
+        par = scf.parallel(builder, [c0], [c1], [c1], gpu_kind="threads")
+        inner = Builder(par.body_block())
+        scf.yield_(inner)
+        clone = par.clone()
+        assert clone.attr("gpu.kind") == "threads"
+        clone.attributes["gpu.kind"] = "blocks"
+        assert par.attr("gpu.kind") == "threads"
+
+
+class TestVerifier:
+    def test_valid_module_verifies(self):
+        module, f, builder = make_func()
+        func.return_(builder)
+        verify_module(module)
+
+    def test_dominance_violation_detected(self):
+        module, f, builder = make_func()
+        use = builder.create("test.use", [], [])
+        c = arith.index_constant(builder, 1)
+        # Manually append an operand defined *after* the user.
+        use._append_operand(c)
+        func.return_(builder)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_region_value_not_visible_outside(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c1, c1)
+        inner = Builder(loop.body_block())
+        hidden = arith.index_constant(inner, 42)
+        scf.yield_(inner)
+        builder.create("test.use", [hidden], [])
+        func.return_(builder)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_broken_use_list_detected(self):
+        module, f, builder = make_func()
+        c = arith.index_constant(builder, 1)
+        use = builder.create("test.use", [c], [])
+        func.return_(builder)
+        c.uses.clear()  # corrupt
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+
+class TestBuilder:
+    def test_sequential_insert_order(self):
+        _, f, builder = make_func()
+        arith.index_constant(builder, 1)
+        arith.index_constant(builder, 2)
+        names = [op.attr("value") for op in f.body_block().ops]
+        assert names == [1, 2]
+
+    def test_insert_before_and_after(self):
+        _, f, builder = make_func()
+        first = arith.index_constant(builder, 1).owner
+        last = arith.index_constant(builder, 3).owner
+        builder.set_insertion_point_after(first)
+        arith.index_constant(builder, 2)
+        values = [op.attr("value") for op in f.body_block().ops]
+        assert values == [1, 2, 3]
+
+    def test_at_end_context_restores(self):
+        _, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c1, c1)
+        with builder.at_end(loop.body_block()):
+            scf.yield_(builder)
+        # restored: inserts back into the function block
+        arith.index_constant(builder, 5)
+        assert f.body_block().ops[-1].attr("value") == 5
+
+
+class TestModule:
+    def test_func_lookup(self):
+        module, f, builder = make_func("kernel_a")
+        func.return_(builder)
+        assert module.func("kernel_a") is f
+        assert module.has_func("kernel_a")
+        assert not module.has_func("missing")
+        with pytest.raises(KeyError):
+            module.func("missing")
+
+    def test_module_clone_is_independent(self):
+        module, f, builder = make_func()
+        func.return_(builder)
+        clone = module.clone()
+        clone.func("f").attributes["sym_name"] = "renamed"
+        assert module.func("f").attr("sym_name") == "f"

@@ -1,0 +1,160 @@
+"""Printer/parser tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (Builder, F32, F64, FunctionType, I1, I32, INDEX,
+                      MemRefType, Module, ParseError, parse_module, parse_op,
+                      parse_type, print_module, verify_module)
+from repro.ir.parser import _Cursor
+from repro.dialects import arith, func, memref, polygeist, scf
+
+
+def roundtrip(module):
+    text = print_module(module)
+    module2 = parse_module(text)
+    verify_module(module2)
+    assert print_module(module2) == text
+    return module2
+
+
+class TestTypes:
+    @pytest.mark.parametrize("text", [
+        "i1", "i32", "i64", "f32", "f64", "index",
+        "memref<4xf32>", "memref<16x16xf64, shared>", "memref<?xi32>",
+        "memref<f32>", "memref<2x?x8xf32, local>",
+    ])
+    def test_type_roundtrip(self, text):
+        type_ = parse_type(_Cursor(text))
+        assert str(type_) == text
+
+    def test_function_type_roundtrip(self):
+        type_ = parse_type(_Cursor("(i32, f32) -> (index)"))
+        assert str(type_) == "(i32, f32) -> (index)"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_type(_Cursor("q32"))
+
+
+class TestOpText:
+    def test_simple_op(self):
+        op = parse_op('%x = "arith.constant"() {value = 5} : () -> (i32)')
+        assert op.name == "arith.constant"
+        assert op.attr("value") == 5
+        assert op.result().type == I32
+
+    def test_attribute_kinds(self):
+        op = parse_op(
+            '"test.op"() {a = 1, b = 2.5, c = "s", d = true, e = false, '
+            'f = none, g = [1, 2], h = !f32} : () -> ()')
+        assert op.attr("a") == 1
+        assert op.attr("b") == 2.5
+        assert op.attr("c") == "s"
+        assert op.attr("d") is True
+        assert op.attr("e") is False
+        assert op.attr("f") is None
+        assert op.attr("g") == [1, 2]
+        assert op.attr("h") == F32
+
+    def test_string_escapes(self):
+        op = parse_op('"test.op"() {s = "a\\"b\\\\c"} : () -> ()')
+        assert op.attr("s") == 'a"b\\c'
+
+    def test_undefined_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_op('"test.op"(%nope) : (i32) -> ()')
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_op('"test.op"() : () -> () extra')
+
+    def test_comments_skipped(self):
+        op = parse_op('// a comment\n"test.op"() : () -> ()')
+        assert op.name == "test.op"
+
+
+class TestModuleRoundTrip:
+    def test_kernel_module(self):
+        module = Module()
+        builder = Builder(module.body)
+        f = func.func(builder, "main", FunctionType((INDEX,), ()), ["n"])
+        body = Builder(f.body_block())
+        c0 = arith.index_constant(body, 0)
+        c1 = arith.index_constant(body, 1)
+        c32 = arith.index_constant(body, 32)
+        wrapper = polygeist.gpu_wrapper(body, "k")
+        wb = Builder(wrapper.body_block())
+        blocks = scf.parallel(wb, [c0], [f.body_block().arg(0)], [c1],
+                              gpu_kind="blocks", iv_names=["b"])
+        bb = Builder(blocks.body_block())
+        shared = memref.alloca(bb, MemRefType((32,), F32, "shared"))
+        threads = scf.parallel(bb, [c0], [c32], [c1],
+                               gpu_kind="threads", iv_names=["t"])
+        tb = Builder(threads.body_block())
+        t = threads.body_block().arg(0)
+        v = memref.load(tb, shared, [t])
+        polygeist.barrier(tb, [t])
+        memref.store(tb, v, shared, [t])
+        scf.yield_(tb)
+        scf.yield_(bb)
+        func.return_(body)
+        verify_module(module)
+        module2 = roundtrip(module)
+        # structure is preserved
+        wrappers = polygeist.find_gpu_wrappers(module2.op)
+        assert len(wrappers) == 1
+        assert len(polygeist.find_barriers(module2.op)) == 1
+
+    def test_name_hint_collisions_uniqued(self):
+        module = Module()
+        builder = Builder(module.body)
+        f = func.func(builder, "f", FunctionType((), ()))
+        body = Builder(f.body_block())
+        a = arith.index_constant(body, 7)
+        b = arith.index_constant(body, 7)  # same hint "c7"
+        builder2 = Builder(f.body_block())
+        func.return_(body)
+        text = print_module(module)
+        assert "%c7" in text and "%c7_1" in text
+        roundtrip(module)
+
+
+_INT_OPS = sorted(arith.INT_BINARY)
+_FLOAT_OPS = sorted(arith.FLOAT_BINARY)
+
+
+@st.composite
+def random_arith_module(draw):
+    """A random straight-line arith function over two index args."""
+    module = Module()
+    builder = Builder(module.body)
+    f = func.func(builder, "f", FunctionType((INDEX, INDEX), ()), ["a", "b"])
+    body = Builder(f.body_block())
+    pool = list(f.body_block().args)
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            value = draw(st.integers(min_value=-100, max_value=100))
+            pool.append(arith.index_constant(body, value))
+        elif choice == 1 and len(pool) >= 2:
+            name = draw(st.sampled_from(_INT_OPS))
+            lhs = draw(st.sampled_from(pool))
+            rhs = draw(st.sampled_from(pool))
+            pool.append(arith.binary(body, name, lhs, rhs))
+        else:
+            lhs = draw(st.sampled_from(pool))
+            rhs = draw(st.sampled_from(pool))
+            pred = draw(st.sampled_from(arith.PREDICATES))
+            arith.cmpi(body, pred, lhs, rhs)
+    func.return_(body)
+    return module
+
+
+@given(random_arith_module())
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(module):
+    verify_module(module)
+    roundtrip(module)

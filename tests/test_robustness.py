@@ -1,0 +1,101 @@
+"""Robustness: malformed inputs must fail with the right exception types,
+never crash with internal errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import (CParseError, CodegenError, LexError,
+                            parse_translation_unit)
+from repro.frontend.preprocessor import PreprocessorError
+from repro.ir import ParseError, parse_module, print_module
+
+_EXPECTED = (CParseError, CodegenError, LexError, PreprocessorError,
+             RecursionError)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_random_text_never_crashes_frontend(text):
+    try:
+        parse_translation_unit(text)
+    except _EXPECTED:
+        pass
+
+
+@given(st.text(alphabet="(){}[]<>;,*&%#\"'\\\n abc123_=+-", max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_punctuation_soup(text):
+    try:
+        parse_translation_unit(text)
+    except _EXPECTED:
+        pass
+
+
+CUDA_SNIPPET = """
+__global__ void k(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    x[i] = x[i] * 2.0f;
+}
+"""
+
+
+@given(st.integers(0, len(CUDA_SNIPPET) - 2), st.integers(1, 15))
+@settings(max_examples=100, deadline=None)
+def test_truncated_source_fails_cleanly(start, length):
+    """Deleting a random slice of valid source must not crash."""
+    mutated = CUDA_SNIPPET[:start] + CUDA_SNIPPET[start + length:]
+    try:
+        parse_translation_unit(mutated)
+    except _EXPECTED:
+        pass
+
+
+def _ir_sample():
+    from repro.frontend import ModuleGenerator
+    unit = parse_translation_unit(CUDA_SNIPPET)
+    generator = ModuleGenerator(unit)
+    generator.get_launch_wrapper("k", 1, (64,))
+    return print_module(generator.module)
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_mutated_ir_text_fails_cleanly(data):
+    text = _ir_sample()
+    start = data.draw(st.integers(0, len(text) - 2))
+    length = data.draw(st.integers(1, 20))
+    mutated = text[:start] + text[start + length:]
+    try:
+        module = parse_module(mutated)
+    except (ParseError, ValueError):
+        return
+    # if it parsed, it must also re-print without crashing
+    print_module(module)
+
+
+class TestSpecificMalformed:
+    @pytest.mark.parametrize("source", [
+        "__global__ void k( {",
+        "__global__ void k() { int x = ; }",
+        "#define",
+        "#endif",
+        "__global__ void k() { for (;;) }",
+        "__global__ void k() { a[1 = 2; }",
+        "void f() { return 1 + ; }",
+        "__global__ void k() { __syncthreads(; }",
+    ])
+    def test_clean_failure(self, source):
+        with pytest.raises(_EXPECTED):
+            parse_translation_unit(source)
+
+    def test_recursive_macros_terminate(self):
+        """Mutually recursive macros stop re-expanding (C's "painted
+        blue" rule) rather than looping forever."""
+        from repro.frontend.preprocessor import preprocess
+        out = preprocess("#define A(x) B(x)\n#define B(x) A(x)\n"
+                         "int y = A(1);")
+        compact = out.replace(" ", "")
+        assert "A(" in compact and "y=" in compact

@@ -1,0 +1,208 @@
+"""Tests for architecture models, register estimation, and occupancy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.ir import verify_module
+from repro.targets import (A100, A4000, ALL_ARCHS, MI210, RX6800,
+                           arch_by_name, compute_occupancy,
+                           estimate_registers, linearize_thread_body)
+from repro.transforms import thread_coarsen, block_coarsen
+from repro.transforms.coarsen import block_parallels, thread_parallel
+
+
+def kernel_threads(source, block=(64,), coarsen=None):
+    unit = parse_translation_unit(source)
+    gen = ModuleGenerator(unit)
+    gen.get_launch_wrapper("k", 1, block)
+    verify_module(gen.module)
+    wrapper = polygeist.find_gpu_wrappers(gen.module.op)[0]
+    if coarsen:
+        coarsen(wrapper)
+    blocks = block_parallels(wrapper, include_epilogues=False)[0]
+    return thread_parallel(blocks)
+
+
+COMPUTE_KERNEL = """
+__global__ void k(float *a, float *b) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float x = a[i];
+    float y = x * 2.0f + 1.0f;
+    float z = y * y - x;
+    b[i] = z / (x + 1.0f);
+}
+"""
+
+
+class TestArch:
+    def test_table1_values(self):
+        assert A100.num_sms == 108
+        assert A4000.num_sms == 48
+        assert RX6800.num_sms == 60
+        assert MI210.num_sms == 104
+        assert A100.memory_bandwidth_gbs == 1555.0
+        assert MI210.fp64_tflops == MI210.fp32_tflops  # 1:1 on CDNA2
+
+    def test_warp_sizes(self):
+        assert A100.warp_size == 32
+        assert A4000.warp_size == 32
+        assert RX6800.warp_size == 64
+        assert MI210.warp_size == 64
+
+    def test_amd_quirks(self):
+        assert RX6800.lds_offload_bytes_per_thread is not None
+        assert A100.lds_offload_bytes_per_thread is None
+
+    def test_lookup(self):
+        assert arch_by_name("a100") is A100
+        assert arch_by_name("RX6800") is RX6800
+        with pytest.raises(KeyError):
+            arch_by_name("H100")
+
+    def test_fp32_lanes_reasonable(self):
+        # ~64 FP32 FMA lanes per SM on Ampere
+        assert 32 <= A100.fp32_lanes_per_sm <= 128
+
+    def test_describe_row_shape(self):
+        row = A100.describe_row()
+        assert row["SMs"] == 108
+        assert "GB/s" in row["Memory Bandwidth"]
+
+
+class TestLinearize:
+    def test_linearization_covers_body(self):
+        threads = kernel_threads(COMPUTE_KERNEL)
+        lin = linearize_thread_body(threads)
+        kinds = [i.kind for i in lin.instrs]
+        assert "load" in kinds
+        assert "store" in kinds
+        assert "fpu32" in kinds
+
+    def test_loop_spans_recorded(self):
+        source = """
+        __global__ void k(float *a) {
+            float acc = 0.0f;
+            for (int j = 0; j < 8; j++) acc += a[j];
+            a[threadIdx.x] = acc;
+        }
+        """
+        threads = kernel_threads(source)
+        lin = linearize_thread_body(threads)
+        assert len(lin.loop_spans) == 1
+        start, end = lin.loop_spans[0]
+        assert end > start
+
+
+class TestRegisters:
+    def test_more_values_more_registers(self):
+        few = kernel_threads("""
+        __global__ void k(float *a) {
+            a[threadIdx.x] = a[threadIdx.x] + 1.0f;
+        }
+        """)
+        many = kernel_threads(COMPUTE_KERNEL)
+        est_few = estimate_registers(few, A100)
+        est_many = estimate_registers(many, A100)
+        assert est_many.registers_per_thread >= est_few.registers_per_thread
+
+    def test_coarsening_increases_registers(self):
+        base = kernel_threads(COMPUTE_KERNEL)
+        coarse = kernel_threads(
+            COMPUTE_KERNEL,
+            coarsen=lambda w: thread_coarsen(w, (8,)))
+        est_base = estimate_registers(base, A100)
+        est_coarse = estimate_registers(coarse, A100)
+        assert est_coarse.registers_per_thread > \
+            est_base.registers_per_thread
+
+    def test_f64_counts_double(self):
+        f32 = kernel_threads(COMPUTE_KERNEL)
+        f64 = kernel_threads(COMPUTE_KERNEL.replace("float", "double"))
+        est32 = estimate_registers(f32, A100)
+        est64 = estimate_registers(f64, A100)
+        assert est64.registers_per_thread > est32.registers_per_thread
+
+    def test_extreme_coarsening_spills(self):
+        source = """
+        __global__ void k(float *a, float *b) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            float x0 = a[i], x1 = a[i+1], x2 = a[i+2], x3 = a[i+3];
+            float x4 = a[i+4], x5 = a[i+5], x6 = a[i+6], x7 = a[i+7];
+            float y = x0*x1 + x2*x3 + x4*x5 + x6*x7;
+            b[i] = y + x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+        }
+        """
+        threads = kernel_threads(
+            source, coarsen=lambda w: thread_coarsen(w, (16,)))
+        est = estimate_registers(threads, A100)
+        # 16 copies x ~17 live floats each approaches/exceeds 255
+        assert est.registers_per_thread > 100
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        occ = compute_occupancy(A100, 256, 32, 0)
+        assert occ.occupancy == 1.0
+        assert occ.blocks_per_sm == 8
+
+    def test_register_limited(self):
+        occ = compute_occupancy(A100, 256, 128, 0)
+        # 256*128 = 32768 regs/block; 65536/32768 = 2 blocks = 512 threads
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "registers"
+        assert occ.occupancy == 512 / 2048
+
+    def test_shared_limited(self):
+        occ = compute_occupancy(A100, 128, 32, 40 * 1024)
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == (164 * 1024) // (40 * 1024)
+
+    def test_shared_exceeds_block_limit(self):
+        occ = compute_occupancy(A100, 128, 32, 60 * 1024)  # > 48 KB
+        assert occ.blocks_per_sm == 0
+        assert occ.occupancy == 0.0
+
+    def test_small_blocks_limited_by_block_slots(self):
+        # gaussian's pathology: block size 16
+        occ = compute_occupancy(A100, 16, 32, 0)
+        assert occ.blocks_per_sm == A100.max_blocks_per_sm
+        # 32 blocks x 32 allocated threads = 1024 of 2048
+        assert occ.occupancy == 0.5
+
+    def test_sub_warp_allocation(self):
+        occ16 = compute_occupancy(A100, 16, 32, 0)
+        occ32 = compute_occupancy(A100, 32, 32, 0)
+        assert occ16.active_threads == occ32.active_threads
+
+    def test_oversized_block_rejected(self):
+        occ = compute_occupancy(A100, 2048, 32, 0)
+        assert occ.occupancy == 0.0
+
+    @given(st.integers(32, 1024), st.integers(16, 200),
+           st.integers(0, 48 * 1024))
+    @settings(max_examples=60, deadline=None)
+    def test_property_occupancy_bounds(self, threads, regs, shared):
+        for arch in ALL_ARCHS:
+            occ = compute_occupancy(arch, threads, regs, shared)
+            assert 0.0 <= occ.occupancy <= 1.0
+            if occ.blocks_per_sm:
+                # resource constraints hold
+                warp = arch.warp_size
+                alloc = -(-threads // warp) * warp
+                assert occ.blocks_per_sm * alloc <= arch.max_threads_per_sm
+                assert occ.blocks_per_sm * alloc * regs <= \
+                    arch.registers_per_sm
+                if shared:
+                    assert occ.blocks_per_sm * shared <= \
+                        arch.shared_mem_per_sm
+
+    def test_monotone_in_registers(self):
+        previous = None
+        for regs in [32, 64, 96, 128, 160, 200]:
+            occ = compute_occupancy(A100, 256, regs, 0)
+            if previous is not None:
+                assert occ.blocks_per_sm <= previous
+            previous = occ.blocks_per_sm
