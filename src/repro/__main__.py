@@ -8,7 +8,9 @@ Commands mirror the Polygeist-GPU driver workflow:
   TDO candidate table;
 * ``hipify``    — run the source-to-source CUDA→HIP translation and report
   the manual fixes a human would still need (§VII-D1);
-* ``targets``   — list the available GPU architecture models (Table I).
+* ``targets``   — list the available GPU architecture models (Table I);
+* ``cache``     — inspect or clear the on-disk tuning cache
+  (``$REPRO_TUNING_CACHE``).
 """
 
 from __future__ import annotations
@@ -59,14 +61,16 @@ def cmd_emit_ir(args) -> int:
 def cmd_tune(args) -> int:
     from .autotune import paper_sweep_configs
     from .benchsuite.experiments import sweep_kernel_configs
+    from .engine import TuningEngine
     from .targets import arch_by_name
 
     arch = arch_by_name(args.arch)
     block = _parse_dims(args.block)
     grid = _parse_dims(args.grid)
+    engine = TuningEngine(workers=args.workers)
     sweep = sweep_kernel_configs(
         _load_source(args.file), args.kernel, block, [grid], arch,
-        paper_sweep_configs(max_product=args.max_factor))
+        paper_sweep_configs(max_product=args.max_factor), engine=engine)
     baseline = sweep.baseline()
     if baseline is None:
         print("baseline configuration failed to model", file=sys.stderr)
@@ -85,6 +89,28 @@ def cmd_tune(args) -> int:
     print("-" * 54)
     print("best: %s (%.2fx) on %s" %
           (best.desc, baseline.seconds / best.seconds, arch.name))
+    if args.stats:
+        print()
+        print("engine stages (%r):" % engine.backend)
+        print(engine.stats.report())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .engine import TuningCache, default_cache_path
+
+    path = args.path or default_cache_path()
+    if not path:
+        print("no cache directory: pass --path or set $REPRO_TUNING_CACHE",
+              file=sys.stderr)
+        return 1
+    cache = TuningCache(path)
+    if args.action == "clear":
+        cache.clear()
+        print("cleared tuning cache at %s" % path)
+    else:
+        print("tuning cache at %s: %d entries on disk" %
+              (path, cache.disk_entries()))
     return 0
 
 
@@ -141,7 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--grid", default="1024")
     tune.add_argument("--block", default="256")
     tune.add_argument("--max-factor", type=int, default=32)
+    tune.add_argument("--workers", type=int, default=None,
+                      help="evaluation workers (default: "
+                           "$REPRO_TUNE_WORKERS or sequential)")
+    tune.add_argument("--stats", action="store_true",
+                      help="print per-stage engine timings after the sweep")
     tune.set_defaults(fn=cmd_tune)
+
+    cache = sub.add_parser("cache", help="inspect the on-disk tuning cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--path", help="cache directory (default: "
+                                      "$REPRO_TUNING_CACHE)")
+    cache.set_defaults(fn=cmd_cache)
 
     hip = sub.add_parser("hipify", help="CUDA -> HIP source translation")
     hip.add_argument("file")

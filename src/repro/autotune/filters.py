@@ -25,9 +25,17 @@ from ..transforms.coarsen import block_parallels_in_region, thread_parallel
 
 @dataclass
 class FilterReport:
-    """What the pruning stages did."""
+    """What the pruning stages did.
+
+    ``survivors`` are indices into the alternative list *as seen by the
+    stage that produced the report*; the merged report from
+    :func:`run_filters` remaps them to indices into the original,
+    unpruned alternative list (with ``survivor_descs`` carrying the
+    matching descriptions), so it stays meaningful after in-place pruning.
+    """
 
     survivors: List[int] = field(default_factory=list)
+    survivor_descs: List[str] = field(default_factory=list)
     dropped_shared: List[str] = field(default_factory=list)
     dropped_spills: List[str] = field(default_factory=list)
 
@@ -63,22 +71,31 @@ def prune_by_shared_memory(alt: Operation,
                                       arch.shared_mem_per_block))
         else:
             report.survivors.append(index)
+            report.survivor_descs.append(descs[index])
     if report.survivors and len(report.survivors) < len(alt.regions):
         prune_alternatives(alt, report.survivors)
     return report
 
 
-def prune_by_registers(alt: Operation,
-                       arch: GPUArchitecture) -> FilterReport:
-    """Stage 3: drop alternatives whose backend compilation spills."""
+def prune_by_registers(alt: Operation, arch: GPUArchitecture,
+                       backend=None) -> FilterReport:
+    """Stage 3: drop alternatives whose backend compilation spills.
+
+    Register estimation is independent per alternative, so an evaluation
+    ``backend`` (see :mod:`repro.engine.parallel`) may fan it out.
+    """
     report = FilterReport()
     descs = polygeist.alternative_descs(alt)
-    spills = []
-    for index in range(len(alt.regions)):
-        spilled = _region_max_registers(alt, index, arch)
-        spills.append(spilled)
+    indices = range(len(alt.regions))
+    if backend is None:
+        spills = [_region_max_registers(alt, i, arch) for i in indices]
+    else:
+        spills = list(backend.map(
+            lambda i: _region_max_registers(alt, i, arch), indices))
+    for index, spilled in enumerate(spills):
         if spilled == 0:
             report.survivors.append(index)
+            report.survivor_descs.append(descs[index])
         else:
             report.dropped_spills.append(
                 "%s (%d spilled registers)" % (descs[index], spilled))
@@ -86,6 +103,7 @@ def prune_by_registers(alt: Operation,
         # everything spills: keep the least-bad one
         best = min(range(len(spills)), key=lambda i: spills[i])
         report.survivors = [best]
+        report.survivor_descs = [descs[best]]
         report.dropped_spills = [d for i, d in enumerate(
             report.dropped_spills) if i != best]
     if len(report.survivors) < len(alt.regions):
@@ -93,11 +111,29 @@ def prune_by_registers(alt: Operation,
     return report
 
 
-def run_filters(alt: Operation, arch: GPUArchitecture) -> FilterReport:
-    """Run all static pruning stages; returns a merged report."""
+def run_filters(alt: Operation, arch: GPUArchitecture,
+                backend=None) -> FilterReport:
+    """Run all static pruning stages; returns a merged report.
+
+    The stages prune ``alt`` in place, so the register stage's survivor
+    indices refer to the *already shared-memory-pruned* region list. The
+    merged report composes the two mappings so its ``survivors`` (and
+    ``survivor_descs``) always index the original alternative list.
+    """
+    original_descs = list(polygeist.alternative_descs(alt))
+    total = len(alt.regions)
     shared_report = prune_by_shared_memory(alt, arch)
-    register_report = prune_by_registers(alt, arch)
-    merged = FilterReport(survivors=register_report.survivors)
+    # when stage 1 pruned nothing (all survived, or none did and pruning
+    # was skipped), stage-2 indices are already original indices
+    if shared_report.survivors and \
+            len(shared_report.survivors) < total:
+        base = shared_report.survivors
+    else:
+        base = list(range(total))
+    register_report = prune_by_registers(alt, arch, backend=backend)
+    merged = FilterReport(
+        survivors=[base[i] for i in register_report.survivors])
+    merged.survivor_descs = [original_descs[i] for i in merged.survivors]
     merged.dropped_shared = shared_report.dropped_shared
     merged.dropped_spills = register_report.dropped_spills
     return merged

@@ -51,76 +51,142 @@ class TuneOutcome:
     selected_time: float
     candidates: List[Candidate] = field(default_factory=list)
     filters: Optional[FilterReport] = None
+    #: region index of the winner (into the post-filter alternative op)
+    selected_index: int = -1
+    #: coarsening kwargs of the winner, for cache replay
+    selected_config: Optional[Dict[str, object]] = None
 
     def speedup_over(self, baseline_desc: str) -> float:
         for candidate in self.candidates:
             if candidate.desc == baseline_desc and candidate.valid:
+                if self.selected_time <= 0.0:
+                    # degenerate zero-time selection: report no speedup
+                    # rather than dividing by zero
+                    return float("inf") if candidate.time_seconds > 0.0 \
+                        else 1.0
                 return candidate.time_seconds / self.selected_time
         return 1.0
 
 
 def _time_region(alt: Operation, index: int, arch: GPUArchitecture,
                  env: Dict[Value, int],
-                 model_cache: Optional[Dict[int, object]] = None) -> float:
+                 model_cache: Optional[Dict[int, object]] = None,
+                 blocks_cache: Optional[Dict[tuple, int]] = None) -> float:
     from ..simulator.model import KernelModel
     total = 0.0
     for loop in block_parallels_in_region(alt.region(index)):
-        blocks = block_count(loop, env)
+        key = loop.stable_uid()
+        blocks = None
+        if blocks_cache is not None:
+            # env dicts stay alive for the whole optimization call, so
+            # their id() is a stable per-call identity
+            blocks = blocks_cache.get((key, id(env)))
         if blocks is None:
-            raise InvalidLaunch("grid size not evaluable")
+            blocks = block_count(loop, env)
+            if blocks is None:
+                raise InvalidLaunch("grid size not evaluable")
+            if blocks_cache is not None:
+                blocks_cache[(key, id(env))] = blocks
         if blocks <= 0:
             continue
-        model = None if model_cache is None else model_cache.get(id(loop))
+        model = None if model_cache is None else model_cache.get(key)
         if model is None:
             model = KernelModel(loop, arch)
             if model_cache is not None:
-                model_cache[id(loop)] = model
-        total += model.time_launch(blocks).time_seconds
+                model_cache[key] = model
+        total += model.time_seconds_for(blocks)
     return total
 
 
 def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
                                env,
-                               select: bool = True) -> TuneOutcome:
+                               select: bool = True,
+                               backend=None) -> TuneOutcome:
     """Model every alternative and (optionally) select the fastest.
 
     ``env`` may be a single launch-environment dict or a sequence of them:
     the paper's profiling mode times each alternative over the *whole*
     application run, so alternatives are ranked by their time summed over
     every launch geometry observed (e.g. gaussian's shrinking grids).
+
+    ``backend`` (see :mod:`repro.engine.parallel`) fans the per-alternative
+    evaluation out over workers; ``None`` evaluates sequentially. Both
+    paths preserve order, so the selection is identical.
     """
     envs = env if isinstance(env, (list, tuple)) else [env]
     descs = polygeist.alternative_descs(alt)
-    candidates: List[Candidate] = []
     model_cache: Dict[int, object] = {}
-    for index in range(len(alt.regions)):
+    blocks_cache: Dict[tuple, int] = {}
+
+    def evaluate(index: int) -> Candidate:
         try:
-            seconds = sum(_time_region(alt, index, arch, one, model_cache)
+            seconds = sum(_time_region(alt, index, arch, one, model_cache,
+                                       blocks_cache)
                           for one in envs)
-            candidates.append(Candidate(index, descs[index], seconds, True))
+            return Candidate(index, descs[index], seconds, True)
         except InvalidLaunch as error:
-            candidates.append(Candidate(index, descs[index], float("inf"),
-                                        False, str(error)))
+            return Candidate(index, descs[index], float("inf"),
+                             False, str(error))
+
+    indices = range(len(alt.regions))
+    if backend is None:
+        candidates = [evaluate(index) for index in indices]
+    else:
+        candidates = list(backend.map(evaluate, indices))
     valid = [c for c in candidates if c.valid]
     if not valid:
         raise InvalidLaunch("no alternative can launch on %s" % arch.name)
     best = min(valid, key=lambda c: c.time_seconds)
     if select:
         select_alternative(alt, best.index)
-    return TuneOutcome(best.desc, best.time_seconds, candidates)
+    return TuneOutcome(best.desc, best.time_seconds, candidates,
+                       selected_index=best.index)
 
 
 def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
                  env,
-                 configs: Sequence[Dict[str, object]]) -> TuneOutcome:
-    """Full §VI flow for one gpu_wrapper: alternatives → filters → TDO."""
+                 configs: Sequence[Dict[str, object]],
+                 engine=None) -> TuneOutcome:
+    """Full §VI flow for one gpu_wrapper: alternatives → filters → TDO.
+
+    ``engine`` (a :class:`repro.engine.TuningEngine`) contributes its
+    evaluation backend and per-stage stats; tuning decisions are cached at
+    the :class:`~repro.pipeline.Program` level, not here.
+    """
+    from contextlib import nullcontext
     from ..transforms.alternatives import generate_coarsening_alternatives
-    report = generate_coarsening_alternatives(wrapper, configs)
+
+    stats = engine.stats if engine is not None else None
+    backend = engine.backend if engine is not None else None
+
+    def stage(name):
+        return stats.stage(name) if stats is not None else nullcontext()
+
+    with stage("alternatives"):
+        report = generate_coarsening_alternatives(wrapper, configs)
+    if stats is not None:
+        stats.count("alternative_generations")
+        stats.count("alternatives_generated", len(report.alternatives))
     if report.op is None:
         raise ValueError("no legal coarsening configuration: %s" %
                          "; ".join(report.rejected))
-    _cleanup_alternatives(wrapper)
-    filters = run_filters(report.op, arch)
-    outcome = timing_driven_optimization(report.op, arch, env)
+    with stage("cleanup"):
+        _cleanup_alternatives(wrapper)
+    with stage("filters"):
+        filters = run_filters(report.op, arch, backend=backend)
+    with stage("tdo"):
+        outcome = timing_driven_optimization(report.op, arch, env,
+                                             backend=backend)
     outcome.filters = filters
+    # map the winning (post-filter) region back to the original
+    # alternative so the winner's coarsening config can be replayed from
+    # cache without regenerating alternatives
+    survivors = filters.survivors
+    original = survivors[outcome.selected_index] \
+        if 0 <= outcome.selected_index < len(survivors) \
+        else outcome.selected_index
+    for info in report.alternatives:
+        if info.index == original:
+            outcome.selected_config = dict(info.config)
+            break
     return outcome

@@ -83,27 +83,48 @@ def sweep_kernel_configs(source: str, kernel: str,
                          grids: Sequence[Tuple[int, ...]],
                          arch: GPUArchitecture,
                          configs: Optional[Sequence[Dict]] = None,
-                         benchmark_name: str = "") -> KernelSweep:
-    """Model every coarsening config of one kernel over a set of grids."""
+                         benchmark_name: str = "",
+                         engine=None) -> KernelSweep:
+    """Model every coarsening config of one kernel over a set of grids.
+
+    ``engine`` (a :class:`repro.engine.TuningEngine`) contributes its
+    evaluation backend and per-stage instrumentation to the sweep.
+    """
+    from contextlib import nullcontext
+    stats = engine.stats if engine is not None else None
+    backend = engine.backend if engine is not None else None
+
+    def stage(name):
+        return stats.stage(name) if stats is not None else nullcontext()
+
     configs = list(configs) if configs is not None \
         else paper_sweep_configs()
-    unit = parse_translation_unit(source)
-    generator = ModuleGenerator(unit)
+    with stage("parse"):
+        unit = parse_translation_unit(source)
+        generator = ModuleGenerator(unit)
     wrapper_name = generator.get_launch_wrapper(kernel, len(grids[0]),
                                                 block)
-    run_cleanup(generator.module)
+    with stage("cleanup"):
+        run_cleanup(generator.module)
     f = generator.module.func(wrapper_name)
     wrapper = polygeist.find_gpu_wrappers(f)[0]
-    report = generate_coarsening_alternatives(wrapper, configs)
+    with stage("alternatives"):
+        report = generate_coarsening_alternatives(wrapper, configs)
+    if stats is not None:
+        stats.count("alternative_generations")
+        stats.count("alternatives_generated", len(report.alternatives))
     sweep = KernelSweep(benchmark_name, kernel, tuple(block))
     if report.op is None:
         return sweep
-    run_cleanup(generator.module)
+    with stage("cleanup"):
+        run_cleanup(generator.module)
     grid_args = f.body_block().args[:len(grids[0])]
     envs = [dict(zip(grid_args, grid)) for grid in grids]
     envs = _apply_measurement_cutoff(report, arch, envs)
-    outcome = timing_driven_optimization(report.op, arch, envs,
-                                         select=False)
+    with stage("tdo"):
+        outcome = timing_driven_optimization(report.op, arch, envs,
+                                             select=False,
+                                             backend=backend)
     by_index = {info.index: info for info in report.alternatives}
     for candidate in outcome.candidates:
         info = by_index.get(candidate.index)
@@ -162,7 +183,8 @@ def _launch_groups(bench) -> Dict[Tuple[str, Tuple[int, ...]],
 def fig13_data(arch: GPUArchitecture = A100,
                benchmarks: Optional[Sequence[str]] = None,
                configs: Optional[Sequence[Dict]] = None,
-               include_hecbench: bool = False) -> List[KernelSweep]:
+               include_hecbench: bool = False,
+               engine=None) -> List[KernelSweep]:
     """Per-kernel sweeps across the suite (the Fig. 13 scatter).
 
     ``include_hecbench`` adds the HeCBench-style extras, mirroring the
@@ -179,7 +201,8 @@ def fig13_data(arch: GPUArchitecture = A100,
         bench = population[name]
         for (kernel, block), grids in _launch_groups(bench).items():
             sweep = sweep_kernel_configs(bench.source, kernel, block,
-                                         grids, arch, configs, name)
+                                         grids, arch, configs, name,
+                                         engine=engine)
             baseline = sweep.baseline()
             if baseline is None or baseline.seconds < MIN_KERNEL_SECONDS:
                 continue  # §VII-A cutoff

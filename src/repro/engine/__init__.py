@@ -1,0 +1,68 @@
+"""The tuning engine: cached, parallel, instrumented autotuning.
+
+Ties together the three pieces the hot compilation path needs:
+
+* :class:`~repro.engine.cache.TuningCache` — content-addressed memoization
+  of tuning decisions keyed by (source hash, arch, tier, configs, launch
+  geometry), in memory and optionally on disk;
+* the evaluation backends of :mod:`~repro.engine.parallel` — fan
+  alternative timing / register estimation out over
+  ``concurrent.futures`` workers, with a deterministic sequential
+  fallback;
+* :class:`~repro.engine.stats.EngineStats` — per-stage wall time and
+  cache-hit counters, surfaced through :meth:`Program.stats` and the CLI.
+
+Every :class:`~repro.pipeline.Program` uses the process-wide default
+engine unless given its own, so repeated compilations of the same
+benchmark source share one cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import (CacheEntry, TuningCache, default_cache_path,
+                    source_hash, tuning_key)
+from .parallel import (SequentialBackend, ThreadPoolBackend, make_backend,
+                       WORKERS_ENV)
+from .stats import EngineStats
+
+__all__ = [
+    "CacheEntry", "EngineStats", "SequentialBackend", "ThreadPoolBackend",
+    "TuningCache", "TuningEngine", "WORKERS_ENV", "default_cache_path",
+    "default_engine", "make_backend", "set_default_engine", "source_hash",
+    "tuning_key",
+]
+
+
+class TuningEngine:
+    """One cache + one evaluation backend + one stats accumulator."""
+
+    def __init__(self, cache: Optional[TuningCache] = None,
+                 workers: Optional[int] = None,
+                 stats: Optional[EngineStats] = None):
+        self.cache = cache if cache is not None \
+            else TuningCache(default_cache_path())
+        self.backend = make_backend(workers)
+        self.stats = stats if stats is not None else EngineStats()
+
+    def __repr__(self) -> str:
+        return "TuningEngine(cache=%d entries, backend=%r)" % (
+            len(self.cache), self.backend)
+
+
+_default_engine: Optional[TuningEngine] = None
+
+
+def default_engine() -> TuningEngine:
+    """The process-wide engine shared by all Programs by default."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = TuningEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[TuningEngine]) -> None:
+    """Replace (or with ``None``, reset) the process-wide default engine."""
+    global _default_engine
+    _default_engine = engine

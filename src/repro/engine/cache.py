@@ -1,0 +1,187 @@
+"""Content-addressed tuning cache.
+
+A tuning decision is fully determined by the CUDA source, the target
+architecture, the optimization tier, the candidate configuration set, and
+the launch geometry — so :class:`TuningCache` keys memoized
+:class:`~repro.autotune.tdo.TuneOutcome`s by a digest of exactly those
+inputs. A hit lets :class:`~repro.pipeline.Program` replay the winning
+coarsening directly, skipping alternative generation, filtering, and TDO
+entirely. Failed tunings (no legal alternative) are cached too, so they
+are not retried.
+
+The cache is in-memory by default; give it a directory (or set
+``$REPRO_TUNING_CACHE``) to persist entries as one JSON file per key
+across processes.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+#: environment variable naming the on-disk cache directory
+CACHE_DIR_ENV = "REPRO_TUNING_CACHE"
+
+
+@dataclass
+class CacheEntry:
+    """One memoized tuning decision.
+
+    ``outcome`` is ``None`` when tuning failed (no legal alternative / no
+    launchable candidate); ``selected_config`` is the coarsening kwargs of
+    the winner, used to replay the transformation without re-generating
+    alternatives.
+    """
+
+    outcome: Optional[object] = None          # TuneOutcome
+    selected_config: Optional[Dict[str, object]] = None
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return str(value)
+
+
+def arch_token(arch) -> str:
+    """A stable digest input for an architecture model.
+
+    Uses every dataclass field, not just the name, so a custom arch that
+    shares a name with a stock one cannot alias its cache entries.
+    """
+    from dataclasses import asdict, is_dataclass
+    payload = asdict(arch) if is_dataclass(arch) else repr(arch)
+    return json.dumps(payload, sort_keys=True, default=_jsonable)
+
+
+def source_hash(source: str, defines: Optional[Dict[str, object]] = None
+                ) -> str:
+    """Digest of the CUDA source text plus preprocessor defines."""
+    text = "%s\n%r" % (source, sorted((defines or {}).items()))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def tuning_key(src_hash: str, arch, tier: str,
+               configs: Sequence[Dict[str, object]],
+               wrapper_name: str,
+               geometry: Sequence[Tuple[int, ...]]) -> str:
+    """The content address of one tuning decision.
+
+    ``wrapper_name`` encodes the kernel, grid rank, and block shape;
+    ``geometry`` is the tuple of grids the alternatives were ranked over.
+    """
+    payload = {
+        "source": src_hash,
+        "arch": arch_token(arch),
+        "tier": tier,
+        "configs": list(configs),
+        "wrapper": wrapper_name,
+        "geometry": list(geometry),
+    }
+    text = json.dumps(payload, sort_keys=True, default=_jsonable)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- TuneOutcome (de)serialization ------------------------------------------------
+
+
+def entry_to_dict(entry: CacheEntry) -> Dict[str, object]:
+    from dataclasses import asdict
+    outcome = None
+    if entry.outcome is not None:
+        outcome = asdict(entry.outcome)
+    return {"outcome": outcome, "selected_config": entry.selected_config}
+
+
+def entry_from_dict(data: Dict[str, object]) -> CacheEntry:
+    from ..autotune.filters import FilterReport
+    from ..autotune.tdo import Candidate, TuneOutcome
+    raw = data.get("outcome")
+    outcome = None
+    if raw is not None:
+        filters = None
+        if raw.get("filters") is not None:
+            filters = FilterReport(**raw["filters"])
+        outcome = TuneOutcome(
+            selected_desc=raw["selected_desc"],
+            selected_time=raw["selected_time"],
+            candidates=[Candidate(**c) for c in raw.get("candidates", [])],
+            filters=filters,
+            selected_index=raw.get("selected_index", -1),
+            selected_config=raw.get("selected_config"))
+    return CacheEntry(outcome, data.get("selected_config"))
+
+
+class TuningCache:
+    """In-memory (and optionally on-disk) map of tuning keys → entries."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._memory: Dict[str, CacheEntry] = {}
+        if path:
+            os.makedirs(path, exist_ok=True)
+
+    # -- access ----------------------------------------------------------------
+
+    def lookup(self, key: str) -> Tuple[bool, Optional[CacheEntry]]:
+        """Returns ``(hit, entry)``; the entry is a private copy."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            return True, copy.deepcopy(entry)
+        if self.path:
+            entry = self._load(key)
+            if entry is not None:
+                self._memory[key] = entry
+                return True, copy.deepcopy(entry)
+        return False, None
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        self._memory[key] = copy.deepcopy(entry)
+        if self.path:
+            self._dump(key, entry)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.path and os.path.isdir(self.path):
+            for name in os.listdir(self.path):
+                if name.endswith(".json"):
+                    os.remove(os.path.join(self.path, name))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def disk_entries(self) -> int:
+        if not self.path or not os.path.isdir(self.path):
+            return 0
+        return sum(1 for name in os.listdir(self.path)
+                   if name.endswith(".json"))
+
+    # -- persistence -------------------------------------------------------------
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, key + ".json")
+
+    def _load(self, key: str) -> Optional[CacheEntry]:
+        try:
+            with open(self._file(key)) as handle:
+                return entry_from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _dump(self, key: str, entry: CacheEntry) -> None:
+        target = self._file(key)
+        tmp = target + ".tmp"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(entry_to_dict(entry), handle)
+            os.replace(tmp, target)
+        except OSError:
+            pass  # disk persistence is best-effort
+
+
+def default_cache_path() -> Optional[str]:
+    return os.environ.get(CACHE_DIR_ENV) or None

@@ -1,0 +1,67 @@
+"""Evaluation backends: sequential by default, thread-pool fan-out on demand.
+
+Alternative timing and register estimation are independent per alternative,
+so they can be mapped over a worker pool. Both backends preserve input
+order, so the selected winner is identical either way — parallelism is a
+throughput knob, never a behavior change.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment variable selecting the default worker count
+WORKERS_ENV = "REPRO_TUNE_WORKERS"
+
+
+class SequentialBackend:
+    """The deterministic fallback: a plain in-order loop."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SequentialBackend()"
+
+
+class ThreadPoolBackend:
+    """Order-preserving fan-out over ``concurrent.futures`` threads."""
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError("ThreadPoolBackend needs at least 2 workers; "
+                             "use SequentialBackend instead")
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:
+        return "ThreadPoolBackend(workers=%d)" % self.workers
+
+
+def make_backend(workers: Optional[int] = None):
+    """Resolve a backend from an explicit worker count or the environment.
+
+    ``workers`` of ``None`` consults ``$REPRO_TUNE_WORKERS``; a count of
+    0 or 1 (or anything unparseable) means sequential.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+    return ThreadPoolBackend(workers) if workers and workers > 1 \
+        else SequentialBackend()

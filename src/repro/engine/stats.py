@@ -1,0 +1,77 @@
+"""Per-stage instrumentation for the tuning engine.
+
+The engine times every compilation stage it drives (parse, cleanup,
+alternative generation, filters, TDO) and counts cache traffic, so that
+"where does the compile time go" is a single :meth:`EngineStats.report`
+away instead of a profiler session.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+#: canonical stage names, in pipeline order (for report formatting)
+STAGE_ORDER = ("parse", "cleanup", "alternatives", "filters", "tdo",
+               "replay")
+
+
+class EngineStats:
+    """Wall-time per stage plus event counters, accumulated in place."""
+
+    def __init__(self) -> None:
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.stage_seconds.clear()
+        self.stage_calls.clear()
+        self.counters.clear()
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Charge the wall time of the enclosed block to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = \
+                self.stage_seconds.get(name, 0.0) + elapsed
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- reporting -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-data snapshot (the :meth:`Program.stats` payload)."""
+        return {
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_calls": dict(self.stage_calls),
+            "counters": dict(self.counters),
+        }
+
+    def report(self) -> str:
+        """Human-readable stage/counter table for the CLI."""
+        lines = ["%-16s %10s %8s" % ("stage", "seconds", "calls"),
+                 "-" * 36]
+        names = [s for s in STAGE_ORDER if s in self.stage_seconds]
+        names += sorted(set(self.stage_seconds) - set(STAGE_ORDER))
+        for name in names:
+            lines.append("%-16s %10.3f %8d" %
+                         (name, self.stage_seconds[name],
+                          self.stage_calls.get(name, 0)))
+        if self.counters:
+            lines.append("")
+            for name in sorted(self.counters):
+                lines.append("%-28s %8d" % (name, self.counters[name]))
+        return "\n".join(lines)

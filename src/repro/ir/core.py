@@ -18,6 +18,7 @@ goes through :meth:`Operation.set_operand` so the chains stay consistent.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from .types import Type
@@ -91,6 +92,10 @@ class BlockArgument(Value):
         super().__init__(type_, name_hint)
         self.owner = owner
         self.index = index
+
+
+#: process-wide counter backing :meth:`Operation.stable_uid`
+_STABLE_UID_COUNTER = itertools.count(1)
 
 
 class Operation:
@@ -189,6 +194,23 @@ class Operation:
 
     def attr(self, name: str, default=None):
         return self.attributes.get(name, default)
+
+    # -- identity ------------------------------------------------------------
+
+    def stable_uid(self) -> int:
+        """A process-unique integer identity for this operation.
+
+        Unlike ``id()``, the value is never reused after the operation is
+        garbage-collected, so it is safe as a long-lived cache key (e.g.
+        memoized :class:`~repro.simulator.model.KernelModel` instances).
+        Clones do not inherit it: each operation object gets its own uid on
+        first request.
+        """
+        uid = self.__dict__.get("_stable_uid")
+        if uid is None:
+            uid = next(_STABLE_UID_COUNTER)
+            self._stable_uid = uid
+        return uid
 
     # -- structure -----------------------------------------------------------
 

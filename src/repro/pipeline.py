@@ -30,6 +30,8 @@ import numpy as np
 from .autotune import default_configs, tune_wrapper
 from .autotune.tdo import TuneOutcome
 from .dialects import polygeist
+from .engine import TuningEngine, default_engine
+from .engine.cache import CacheEntry, source_hash, tuning_key
 from .frontend import ModuleGenerator, parse_translation_unit
 from .interpreter import Interpreter, MemoryBuffer
 from .ir import FloatType, IndexType, IntegerType, MemRefType
@@ -58,20 +60,36 @@ class Program:
     def __init__(self, source: str, arch: GPUArchitecture = A100,
                  tier: str = "polygeist",
                  autotune_configs: Optional[Sequence[Dict]] = None,
-                 defines: Optional[Dict[str, object]] = None):
+                 defines: Optional[Dict[str, object]] = None,
+                 engine: Optional[TuningEngine] = None):
         if tier not in TIERS:
             raise ValueError("tier must be one of %s" % (TIERS,))
         self.arch = arch
         self.tier = tier
         self.autotune_configs = list(autotune_configs) \
             if autotune_configs is not None else default_configs()
-        self.unit = parse_translation_unit(source, defines)
-        self.generator = ModuleGenerator(self.unit)
+        self.engine = engine if engine is not None else default_engine()
+        self._source_hash = source_hash(source, defines)
+        with self.engine.stats.stage("parse"):
+            self.unit = parse_translation_unit(source, defines)
+            self.generator = ModuleGenerator(self.unit)
         self.module = self.generator.module
         self._interpreter = Interpreter(self.module)
         self._cleaned: Set[str] = set()
         self._tuned: Set[str] = set()
         self.tuning_outcomes: Dict[str, TuneOutcome] = {}
+
+    def stats(self) -> Dict[str, object]:
+        """Per-stage wall time and cache counters of this program's engine.
+
+        The default engine is process-wide, so the numbers aggregate over
+        every :class:`Program` sharing it.
+        """
+        return self.engine.stats.as_dict()
+
+    def _run_cleanup(self, parallel: bool) -> None:
+        with self.engine.stats.stage("cleanup"):
+            run_cleanup(self.module, parallel_optimizations=parallel)
 
     # -- kernel launches ---------------------------------------------------------
 
@@ -89,8 +107,7 @@ class Program:
         wrapper_name = self.generator.get_launch_wrapper(
             kernel, len(grid), block)
         if wrapper_name not in self._cleaned:
-            run_cleanup(self.module,
-                        parallel_optimizations=(self.tier != "clang"))
+            self._run_cleanup(self.tier != "clang")
             self._cleaned.add(wrapper_name)
         tuning = None
         if self.tier == "polygeist" and wrapper_name not in self._tuned:
@@ -138,17 +155,21 @@ class Program:
         wrapper_name = self.generator.get_launch_wrapper(
             kernel, len(grid), block)
         if wrapper_name not in self._cleaned:
-            run_cleanup(self.module, parallel_optimizations=True)
+            self._run_cleanup(True)
             self._cleaned.add(wrapper_name)
         f = self.module.func(wrapper_name)
         if wrapper_name not in self._tuned:
             self._tuned.add(wrapper_name)
             wrappers = polygeist.find_gpu_wrappers(f)
             if wrappers:
-                report = generate_coarsening_alternatives(
-                    wrappers[0], self.autotune_configs)
+                with self.engine.stats.stage("alternatives"):
+                    report = generate_coarsening_alternatives(
+                        wrappers[0], self.autotune_configs)
+                self.engine.stats.count("alternative_generations")
+                self.engine.stats.count("alternatives_generated",
+                                        len(report.alternatives))
                 if report.op is not None:
-                    run_cleanup(self.module, parallel_optimizations=True)
+                    self._run_cleanup(True)
                     run_filters(report.op, self.arch)
                     coerced, _ = self._coerce_args(wrapper_name, grid, args)
                     # snapshot device state: profiling runs are discarded
@@ -168,8 +189,12 @@ class Program:
                             for _ in range(runs_per_alternative):
                                 self._interpreter.run_func(
                                     wrapper_name, list(coerced))
-                            for buffer, snapshot in snapshots:
-                                buffer.array[...] = snapshot
+                                # restore device state after EVERY run:
+                                # non-idempotent kernels (accumulators)
+                                # would otherwise time runs 2..N on
+                                # already-mutated inputs
+                                for buffer, snapshot in snapshots:
+                                    buffer.array[...] = snapshot
                             candidates.append(Candidate(
                                 index, descs[index],
                                 probe.kernel_seconds /
@@ -180,7 +205,7 @@ class Program:
                             saved_selector
                     best = min(candidates, key=lambda c: c.time_seconds)
                     select_alternative(report.op, best.index)
-                    run_cleanup(self.module, parallel_optimizations=True)
+                    self._run_cleanup(True)
                     self.tuning_outcomes[wrapper_name] = TuneOutcome(
                         best.desc, best.time_seconds, candidates)
         return self.launch(kernel, grid, block, args, runtime=runtime)
@@ -199,8 +224,7 @@ class Program:
         wrapper_name = self.generator.get_launch_wrapper(
             kernel, len(grids[0]), block)
         if wrapper_name not in self._cleaned:
-            run_cleanup(self.module,
-                        parallel_optimizations=(self.tier != "clang"))
+            self._run_cleanup(self.tier != "clang")
             self._cleaned.add(wrapper_name)
         if self.tier != "polygeist" or wrapper_name in self._tuned:
             return
@@ -211,13 +235,10 @@ class Program:
             return
         grid_args = f.body_block().args[:len(grids[0])]
         envs = [dict(zip(grid_args, grid)) for grid in grids]
-        try:
-            outcome = tune_wrapper(wrappers[0], self.arch, envs,
-                                   self.autotune_configs)
-        except (ValueError, InvalidLaunch):
-            return
-        run_cleanup(self.module, parallel_optimizations=True)
-        self.tuning_outcomes[wrapper_name] = outcome
+        outcome = self._tune_with_cache(wrapper_name, wrappers[0], envs,
+                                        [tuple(g) for g in grids])
+        if outcome is not None:
+            self.tuning_outcomes[wrapper_name] = outcome
 
     def model_launch(self, kernel: str, grid, block,
                      runtime: Optional[GPURuntime] = None):
@@ -233,8 +254,7 @@ class Program:
         wrapper_name = self.generator.get_launch_wrapper(
             kernel, len(grid), block)
         if wrapper_name not in self._cleaned:
-            run_cleanup(self.module,
-                        parallel_optimizations=(self.tier != "clang"))
+            self._run_cleanup(self.tier != "clang")
             self._cleaned.add(wrapper_name)
         if self.tier == "polygeist" and wrapper_name not in self._tuned:
             self._tune(wrapper_name, grid)
@@ -263,7 +283,7 @@ class Program:
         if not wrappers:
             return
         choice = heuristic_tune(wrappers[0], self.arch)
-        run_cleanup(self.module, parallel_optimizations=True)
+        self._run_cleanup(True)
         self.heuristic_choices = getattr(self, "heuristic_choices", {})
         self.heuristic_choices[wrapper_name] = choice
 
@@ -275,15 +295,64 @@ class Program:
         if not wrappers:
             return None
         env = dict(zip(f.body_block().args[:len(grid)], grid))
-        try:
-            outcome = tune_wrapper(wrappers[0], self.arch, env,
-                                   self.autotune_configs)
-        except (ValueError, InvalidLaunch):
-            return None  # keep the untransformed kernel
-        run_cleanup(self.module,
-                    parallel_optimizations=True)
-        self.tuning_outcomes[wrapper_name] = outcome
+        outcome = self._tune_with_cache(wrapper_name, wrappers[0], [env],
+                                        [tuple(grid)])
+        if outcome is not None:
+            self.tuning_outcomes[wrapper_name] = outcome
         return outcome
+
+    # -- cached tuning ------------------------------------------------------------
+
+    def _tuning_key(self, wrapper_name: str,
+                    grids: Sequence[Tuple[int, ...]]) -> str:
+        return tuning_key(self._source_hash, self.arch, self.tier,
+                          self.autotune_configs, wrapper_name, grids)
+
+    def _tune_with_cache(self, wrapper_name: str, wrapper,
+                         envs: List[Dict], grids: Sequence[Tuple[int, ...]]
+                         ) -> Optional[TuneOutcome]:
+        """Tune one wrapper, consulting the engine's tuning cache.
+
+        On a hit the cached winner's coarsening is replayed directly on
+        the wrapper — no alternative generation, filtering, or TDO runs at
+        all. Failed tunings are cached as negative entries so they are not
+        retried either.
+        """
+        cache = self.engine.cache
+        stats = self.engine.stats
+        key = self._tuning_key(wrapper_name, grids)
+        hit, entry = cache.lookup(key)
+        if hit and (entry.outcome is None or
+                    entry.selected_config is not None):
+            stats.count("cache_hits")
+            return self._replay_cached(wrapper, entry)
+        stats.count("cache_misses")
+        try:
+            outcome = tune_wrapper(wrapper, self.arch, envs,
+                                   self.autotune_configs,
+                                   engine=self.engine)
+        except (ValueError, InvalidLaunch):
+            cache.store(key, CacheEntry(None, None))
+            return None  # keep the untransformed kernel
+        self._run_cleanup(True)
+        cache.store(key, CacheEntry(outcome, outcome.selected_config))
+        return outcome
+
+    def _replay_cached(self, wrapper,
+                       entry: CacheEntry) -> Optional[TuneOutcome]:
+        """Apply a cached tuning decision to a freshly built wrapper."""
+        if entry.outcome is None:
+            return None  # tuning is known to fail for this key
+        from .transforms.coarsen import CoarsenError, coarsen_wrapper
+        config = {key: tuple(value) if isinstance(value, list) else value
+                  for key, value in entry.selected_config.items()}
+        with self.engine.stats.stage("replay"):
+            try:
+                coarsen_wrapper(wrapper, **config)
+            except CoarsenError:
+                return None
+        self._run_cleanup(True)
+        return entry.outcome
 
     def _coerce_args(self, wrapper_name: str, grid: Tuple[int, ...],
                      args: Sequence[object]):
@@ -334,8 +403,7 @@ class Program:
         if func_name not in self._cleaned:
             if not self.module.has_func(func_name):
                 self.generator.emit_host_function(func_name)
-            run_cleanup(self.module,
-                        parallel_optimizations=(self.tier != "clang"))
+            self._run_cleanup(self.tier != "clang")
             self._cleaned.add(func_name)
         coerced: List[object] = []
         writeback: List[Tuple[np.ndarray, MemoryBuffer]] = []
@@ -375,9 +443,17 @@ class Program:
 
 
 def _fixed_selector(index: int):
-    """An alternative_selector that always picks region ``index``."""
+    """An alternative_selector that always picks region ``index``.
+
+    Raises instead of clamping: silently picking a different region than
+    requested would attribute one alternative's timing to another.
+    """
     def select(op):
-        return min(index, len(op.regions) - 1)
+        if not 0 <= index < len(op.regions):
+            raise IndexError(
+                "alternative index %d out of range: op has %d regions"
+                % (index, len(op.regions)))
+        return index
     return select
 
 

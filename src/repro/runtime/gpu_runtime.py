@@ -50,10 +50,13 @@ class TimingTracer(Tracer):
     def on_kernel_block_loop(self, op, num_blocks: int) -> None:
         if not self.enabled or num_blocks <= 0:
             return
-        model = self._models.get(id(op))
+        # keyed by stable_uid, not id(): id() values can be reused after
+        # GC, which would silently return a stale model for a new loop
+        key = op.stable_uid()
+        model = self._models.get(key)
         if model is None:
             model = KernelModel(op, self.arch)
-            self._models[id(op)] = model
+            self._models[key] = model
         timing = model.time_launch(num_blocks)
         self.kernel_seconds += timing.time_seconds
         wrapper = op.parent_op

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional
 from ..analysis import kernel_statistics, shared_bytes_per_block
 from ..analysis.uniformity import depends_on_values
 from ..dialects import arith, scf
-from ..ir import Operation, Value
+from ..ir import Operation, OpResult, Value
 from ..targets import (GPUArchitecture, Occupancy, compute_occupancy,
                        estimate_registers)
 from .coalescing import analyze_coalescing, analyze_shared_conflicts
@@ -146,17 +146,18 @@ class KernelModel:
             arch, self.threads_per_block,
             self.registers.registers_per_thread, shared_for_occupancy)
 
+        # derived quantities, precomputed: time_launch touches these in its
+        # inner loops and the model is immutable after construction
+        warp = arch.warp_size
+        #: threads the hardware allocates (rounded up to a warp multiple)
+        self.alloc_threads_per_block = \
+            -(-self.threads_per_block // warp) * warp
+        #: fraction of allocated SIMD lanes doing useful work
+        self.lane_efficiency = (self.threads_per_block /
+                                self.alloc_threads_per_block)
+        self._timing_cache: Dict[int, LaunchTiming] = {}
+
     # -- derived quantities -------------------------------------------------
-
-    @property
-    def alloc_threads_per_block(self) -> int:
-        warp = self.arch.warp_size
-        return -(-self.threads_per_block // warp) * warp
-
-    @property
-    def lane_efficiency(self) -> float:
-        """Fraction of allocated SIMD lanes doing useful work."""
-        return self.threads_per_block / self.alloc_threads_per_block
 
     def spills(self) -> bool:
         return self.registers.spills
@@ -164,6 +165,31 @@ class KernelModel:
     # -- timing ------------------------------------------------------------------
 
     def time_launch(self, num_blocks: int) -> LaunchTiming:
+        """Model a launch of ``num_blocks`` blocks.
+
+        The model is static, so the result depends only on ``num_blocks``
+        and is memoized; callers get a private copy (metrics and breakdown
+        are theirs to mutate).
+        """
+        cached = self._timing_cache.get(num_blocks)
+        if cached is None:
+            cached = self._compute_launch(num_blocks)
+            self._timing_cache[num_blocks] = cached
+        from dataclasses import replace
+        return LaunchTiming(cached.time_seconds, cached.occupancy,
+                            replace(cached.metrics),
+                            dict(cached.breakdown))
+
+    def time_seconds_for(self, num_blocks: int) -> float:
+        """Modeled seconds only — skips the defensive copy of
+        :meth:`time_launch`; the hot path of candidate ranking."""
+        cached = self._timing_cache.get(num_blocks)
+        if cached is None:
+            cached = self._compute_launch(num_blocks)
+            self._timing_cache[num_blocks] = cached
+        return cached.time_seconds
+
+    def _compute_launch(self, num_blocks: int) -> LaunchTiming:
         arch = self.arch
         occupancy = self.occupancy
         if num_blocks <= 0:
@@ -331,29 +357,29 @@ class KernelModel:
 # -- wrapper-level modeling -----------------------------------------------------------
 
 
+_INDEX_OPS = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: a // b if b else None,
+    "arith.remsi": lambda a, b: a % b if b else None,
+    "arith.minsi": min, "arith.maxsi": max,
+}
+
+
 def _eval_index(value: Value, env: Dict[Value, int]) -> Optional[int]:
     """Evaluate an index SSA expression given known leaf values."""
     if value in env:
         return env[value]
-    constant = arith.constant_value(value)
-    if constant is not None:
-        return int(constant)
-    from ..ir import OpResult
     if not isinstance(value, OpResult):
         return None
     op = value.owner
+    if op.name == arith.CONSTANT:
+        return int(op.attr("value"))
     operands = [_eval_index(v, env) for v in op.operands]
     if any(v is None for v in operands):
         return None
-    table = {
-        "arith.addi": lambda a, b: a + b,
-        "arith.subi": lambda a, b: a - b,
-        "arith.muli": lambda a, b: a * b,
-        "arith.divsi": lambda a, b: a // b if b else None,
-        "arith.remsi": lambda a, b: a % b if b else None,
-        "arith.minsi": min, "arith.maxsi": max,
-    }
-    fn = table.get(op.name)
+    fn = _INDEX_OPS.get(op.name)
     if fn is None or len(operands) != 2:
         if op.name == "arith.index_cast":
             return operands[0]
@@ -383,7 +409,8 @@ def model_wrapper_launch(wrapper: Operation, arch: GPUArchitecture,
 
     ``env`` maps launch-parameter SSA values (e.g. grid-dimension function
     arguments) to their runtime integers. ``models`` optionally caches
-    :class:`KernelModel` instances keyed by ``id(block_parallel)``.
+    :class:`KernelModel` instances keyed by the loop's
+    :meth:`~repro.ir.Operation.stable_uid` (never-reused, unlike ``id()``).
     """
     from ..transforms.coarsen import block_parallels
     total_time = 0.0
@@ -394,7 +421,7 @@ def model_wrapper_launch(wrapper: Operation, arch: GPUArchitecture,
         blocks = block_count(loop, env)
         if blocks is None:
             raise InvalidLaunch("cannot evaluate grid size for modeling")
-        key = id(loop)
+        key = loop.stable_uid()
         if models is not None and key in models:
             model = models[key]
         else:

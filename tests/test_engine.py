@@ -1,0 +1,427 @@
+"""Tests for the tuning engine: cache, parallel evaluation, stats, and the
+correctness fixes that ride along with it (snapshot restoration in
+profiling mode, filter-report index remapping, stable model-cache keys,
+selector range checks, zero-time speedup guards)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.autotune import default_configs, run_filters, tune_wrapper
+from repro.autotune.tdo import (Candidate, TuneOutcome,
+                                timing_driven_optimization)
+from repro.dialects import polygeist
+from repro.engine import (CacheEntry, EngineStats, SequentialBackend,
+                          ThreadPoolBackend, TuningCache, TuningEngine,
+                          make_backend, source_hash, tuning_key)
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.ir import verify_module
+from repro.pipeline import Program, _fixed_selector
+from repro.targets import A100, RX6800
+from repro.transforms import generate_coarsening_alternatives
+
+SOURCE = """
+__global__ void scale(float *x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    x[i] = x[i] * a;
+}
+"""
+
+ACCUM_SOURCE = """
+__global__ void accum(float *x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    x[i] = x[i] + 1.0f;
+}
+"""
+
+
+def fresh_engine(**kwargs):
+    return TuningEngine(cache=TuningCache(), **kwargs)
+
+
+def build_alt(source=SOURCE, kernel="scale", block=(64,), configs=None):
+    unit = parse_translation_unit(source)
+    gen = ModuleGenerator(unit)
+    name = gen.get_launch_wrapper(kernel, 1, block)
+    wrapper = polygeist.find_gpu_wrappers(gen.module.op)[0]
+    report = generate_coarsening_alternatives(
+        wrapper, configs or default_configs(max_total=4))
+    return gen.module, name, wrapper, report
+
+
+class TestTuningCache:
+    def test_same_key_hits_with_identical_outcome(self):
+        engine = fresh_engine()
+        p1 = Program(SOURCE, arch=A100, engine=engine)
+        p1.model_launch("scale", 256, 64)
+        assert engine.stats.get("cache_misses") == 1
+        assert engine.stats.get("cache_hits") == 0
+        gens = engine.stats.get("alternative_generations")
+        assert gens == 1
+
+        p2 = Program(SOURCE, arch=A100, engine=engine)
+        p2.model_launch("scale", 256, 64)
+        assert engine.stats.get("cache_hits") == 1
+        # the headline guarantee: zero alternative generations on a hit
+        assert engine.stats.get("alternative_generations") == gens
+
+        o1 = p1.tuning_outcomes[next(iter(p1.tuning_outcomes))]
+        o2 = p2.tuning_outcomes[next(iter(p2.tuning_outcomes))]
+        assert o1.selected_desc == o2.selected_desc
+        assert o1.selected_time == o2.selected_time
+        assert [(c.desc, c.time_seconds, c.valid) for c in o1.candidates] \
+            == [(c.desc, c.time_seconds, c.valid) for c in o2.candidates]
+
+    def test_replay_transforms_module_equivalently(self):
+        engine = fresh_engine()
+        p1 = Program(SOURCE, arch=A100, engine=engine)
+        t1 = p1.model_launch("scale", 4096, 64)
+        p2 = Program(SOURCE, arch=A100, engine=engine)
+        t2 = p2.model_launch("scale", 4096, 64)
+        verify_module(p2.module)
+        assert t1.time_seconds == pytest.approx(t2.time_seconds)
+
+    def test_different_arch_misses(self):
+        engine = fresh_engine()
+        Program(SOURCE, arch=A100, engine=engine).model_launch(
+            "scale", 256, 64)
+        Program(SOURCE, arch=RX6800, engine=engine).model_launch(
+            "scale", 256, 64)
+        assert engine.stats.get("cache_misses") == 2
+        assert engine.stats.get("cache_hits") == 0
+
+    def test_different_configs_miss(self):
+        engine = fresh_engine()
+        Program(SOURCE, arch=A100, engine=engine).model_launch(
+            "scale", 256, 64)
+        Program(SOURCE, arch=A100, engine=engine,
+                autotune_configs=default_configs(max_total=2)
+                ).model_launch("scale", 256, 64)
+        assert engine.stats.get("cache_misses") == 2
+        assert engine.stats.get("cache_hits") == 0
+
+    def test_different_geometry_misses(self):
+        engine = fresh_engine()
+        Program(SOURCE, arch=A100, engine=engine).model_launch(
+            "scale", 256, 64)
+        Program(SOURCE, arch=A100, engine=engine).model_launch(
+            "scale", 512, 64)
+        assert engine.stats.get("cache_misses") == 2
+
+    def test_aggregate_tuning_cached(self):
+        engine = fresh_engine()
+        p1 = Program(SOURCE, arch=A100, engine=engine)
+        p1.tune_aggregate("scale", 64, [(256,), (128,)])
+        p2 = Program(SOURCE, arch=A100, engine=engine)
+        p2.tune_aggregate("scale", 64, [(256,), (128,)])
+        assert engine.stats.get("cache_hits") == 1
+        assert p1.tuning_outcomes.keys() == p2.tuning_outcomes.keys()
+
+    def test_disk_round_trip(self, tmp_path):
+        engine = fresh_engine()
+        engine.cache = TuningCache(str(tmp_path))
+        p1 = Program(SOURCE, arch=A100, engine=engine)
+        p1.model_launch("scale", 256, 64)
+        assert engine.cache.disk_entries() == 1
+
+        # a brand-new cache over the same directory serves the entry
+        cold = TuningEngine(cache=TuningCache(str(tmp_path)))
+        p2 = Program(SOURCE, arch=A100, engine=cold)
+        p2.model_launch("scale", 256, 64)
+        assert cold.stats.get("cache_hits") == 1
+        assert cold.stats.get("alternative_generations", ) == 0
+        o1 = next(iter(p1.tuning_outcomes.values()))
+        o2 = next(iter(p2.tuning_outcomes.values()))
+        assert o1.selected_desc == o2.selected_desc
+        assert o1.selected_time == pytest.approx(o2.selected_time)
+
+    def test_cached_entries_are_isolated_copies(self):
+        cache = TuningCache()
+        outcome = TuneOutcome("block=1 thread=1", 1.0,
+                              [Candidate(0, "block=1 thread=1", 1.0, True)])
+        cache.store("k", CacheEntry(outcome, {"block_total": 1}))
+        outcome.selected_desc = "mutated-after-store"
+        hit, entry = cache.lookup("k")
+        assert hit
+        assert entry.outcome.selected_desc == "block=1 thread=1"
+        entry.outcome.selected_desc = "mutated-after-lookup"
+        _, again = cache.lookup("k")
+        assert again.outcome.selected_desc == "block=1 thread=1"
+
+    def test_key_depends_on_all_inputs(self):
+        base = tuning_key("h", A100, "polygeist", [{"block_total": 2}],
+                          "w", [(256,)])
+        assert base != tuning_key("h2", A100, "polygeist",
+                                  [{"block_total": 2}], "w", [(256,)])
+        assert base != tuning_key("h", RX6800, "polygeist",
+                                  [{"block_total": 2}], "w", [(256,)])
+        assert base != tuning_key("h", A100, "clang",
+                                  [{"block_total": 2}], "w", [(256,)])
+        assert base != tuning_key("h", A100, "polygeist",
+                                  [{"block_total": 4}], "w", [(256,)])
+        assert base != tuning_key("h", A100, "polygeist",
+                                  [{"block_total": 2}], "w2", [(256,)])
+        assert base != tuning_key("h", A100, "polygeist",
+                                  [{"block_total": 2}], "w", [(512,)])
+        # and it is deterministic
+        assert base == tuning_key("h", A100, "polygeist",
+                                  [{"block_total": 2}], "w", [(256,)])
+
+    def test_source_hash_includes_defines(self):
+        assert source_hash("x") != source_hash("y")
+        assert source_hash("x", {"N": 1}) != source_hash("x", {"N": 2})
+
+
+class TestParallelBackend:
+    def test_make_backend(self, monkeypatch):
+        assert isinstance(make_backend(1), SequentialBackend)
+        assert isinstance(make_backend(0), SequentialBackend)
+        assert isinstance(make_backend(4), ThreadPoolBackend)
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "3")
+        assert isinstance(make_backend(), ThreadPoolBackend)
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "not-a-number")
+        assert isinstance(make_backend(), SequentialBackend)
+
+    def test_backends_preserve_order(self):
+        items = list(range(40))
+        fn = lambda x: x * x
+        assert ThreadPoolBackend(4).map(fn, items) == \
+            SequentialBackend().map(fn, items)
+
+    @pytest.mark.parametrize("bench_name", ["lud", "gaussian"])
+    def test_parallel_selects_same_winner(self, bench_name):
+        from repro.benchsuite import gaussian, lud  # noqa: F401 (register)
+        from repro.benchsuite.base import get_benchmark
+        bench = get_benchmark(bench_name)
+        grouped = {}
+        for kernel, grid, block in bench.iter_launches(bench.verify_size):
+            grouped.setdefault((kernel, tuple(block)), []).append(
+                tuple(grid))
+        for (kernel, block), grids in grouped.items():
+            outcomes = {}
+            for label, workers in (("sequential", None), ("parallel", 4)):
+                engine = fresh_engine(workers=workers)
+                program = Program(bench.source, arch=A100, engine=engine)
+                program.tune_aggregate(kernel, block, grids)
+                outcome = program.tuning_outcomes.get(
+                    next(iter(program.tuning_outcomes), None))
+                outcomes[label] = outcome
+            seq, par = outcomes["sequential"], outcomes["parallel"]
+            if seq is None:
+                assert par is None
+                continue
+            assert seq.selected_desc == par.selected_desc, \
+                "%s/%s: parallel TDO picked a different winner" % (
+                    bench_name, kernel)
+            assert seq.selected_time == pytest.approx(par.selected_time)
+
+    def test_tdo_backend_matches_sequential(self):
+        module_s, name_s, _, report_s = build_alt()
+        module_p, name_p, _, report_p = build_alt()
+        env_s = {module_s.func(name_s).body_block().arg(0): 512}
+        env_p = {module_p.func(name_p).body_block().arg(0): 512}
+        seq = timing_driven_optimization(report_s.op, A100, env_s,
+                                         select=False)
+        par = timing_driven_optimization(report_p.op, A100, env_p,
+                                         select=False,
+                                         backend=ThreadPoolBackend(4))
+        assert [c.desc for c in seq.candidates] == \
+            [c.desc for c in par.candidates]
+        assert [c.time_seconds for c in seq.candidates] == \
+            pytest.approx([c.time_seconds for c in par.candidates])
+        assert seq.selected_desc == par.selected_desc
+
+
+class TestEngineStats:
+    def test_stage_accumulation(self):
+        stats = EngineStats()
+        with stats.stage("parse"):
+            pass
+        with stats.stage("parse"):
+            pass
+        assert stats.stage_calls["parse"] == 2
+        assert stats.stage_seconds["parse"] >= 0.0
+        stats.count("cache_hits")
+        stats.count("cache_hits", 2)
+        assert stats.get("cache_hits") == 3
+        report = stats.report()
+        assert "parse" in report and "cache_hits" in report
+        stats.reset()
+        assert stats.as_dict() == {"stage_seconds": {}, "stage_calls": {},
+                                   "counters": {}}
+
+    def test_program_stats_api(self):
+        engine = fresh_engine()
+        program = Program(SOURCE, arch=A100, engine=engine)
+        program.model_launch("scale", 256, 64)
+        stats = program.stats()
+        for stage in ("parse", "cleanup", "alternatives", "filters",
+                      "tdo"):
+            assert stage in stats["stage_seconds"], stage
+        assert stats["counters"]["cache_misses"] == 1
+
+
+class TestProfileSnapshotRestore:
+    def test_accumulating_kernel_profiles_correctly(self):
+        """runs_per_alternative > 1 must restore device state between runs,
+        or each alternative's later runs execute on mutated inputs and the
+        final result double-applies the kernel."""
+        engine = fresh_engine()
+        program = Program(ACCUM_SOURCE, arch=A100, engine=engine,
+                          autotune_configs=default_configs(max_total=2))
+        x = np.zeros(128, dtype=np.float32)
+        program.profile_launch("accum", 2, 64, [x, 128],
+                               runs_per_alternative=3)
+        # exactly one accumulation: the final (post-profiling) launch
+        np.testing.assert_allclose(x, np.ones(128, dtype=np.float32))
+
+    def test_single_run_still_correct(self):
+        engine = fresh_engine()
+        program = Program(ACCUM_SOURCE, arch=A100, engine=engine,
+                          autotune_configs=default_configs(max_total=2))
+        x = np.zeros(128, dtype=np.float32)
+        program.profile_launch("accum", 2, 64, [x, 128],
+                               runs_per_alternative=1)
+        np.testing.assert_allclose(x, np.ones(128, dtype=np.float32))
+
+
+class TestFilterReportRemap:
+    def test_merged_survivors_are_original_indices(self):
+        # 16 KB static shared per block: block_total >= 4 exceeds the
+        # A100's 48 KB per-block limit, so stage 1 prunes a prefix of the
+        # alternative list and stage 2's indices must be remapped
+        source = """
+        __global__ void k(float *a) {
+            __shared__ float s[4096];
+            s[threadIdx.x] = a[threadIdx.x];
+            __syncthreads();
+            a[threadIdx.x] = s[threadIdx.x];
+        }
+        """
+        configs = [{"block_total": 4}, {"block_total": 8},
+                   {"block_total": 1}, {"block_total": 2}]
+        module, name, wrapper, report = build_alt(source, "k", (64,),
+                                                  configs)
+        descs = list(polygeist.alternative_descs(report.op))
+        merged = run_filters(report.op, A100)
+        # survivors index the ORIGINAL alternative list (1x and 2x live at
+        # original positions 2 and 3), not the pruned op
+        assert merged.survivors == [2, 3]
+        assert merged.survivor_descs == [descs[2], descs[3]]
+        assert len(merged.dropped_shared) == 2
+        # and they remain consistent with the op's surviving descs
+        assert list(polygeist.alternative_descs(report.op)) == \
+            merged.survivor_descs
+
+    def test_no_shared_pruning_keeps_identity_mapping(self):
+        module, name, wrapper, report = build_alt()
+        total = len(report.op.regions)
+        merged = run_filters(report.op, A100)
+        assert all(0 <= index < total for index in merged.survivors)
+        assert merged.survivor_descs == [
+            polygeist.alternative_descs(report.op)[i]
+            for i in range(len(report.op.regions))]
+
+    def test_selected_config_matches_winner_desc(self):
+        # the remapped indices are what lets tune_wrapper recover the
+        # winning coarsening config for cache replay
+        module, name, wrapper, report = build_alt()
+        del report  # tune_wrapper regenerates alternatives itself
+        unit = parse_translation_unit(SOURCE)
+        gen = ModuleGenerator(unit)
+        wname = gen.get_launch_wrapper("scale", 1, (64,))
+        wrapper = polygeist.find_gpu_wrappers(gen.module.op)[0]
+        f = gen.module.func(wname)
+        env = {f.body_block().arg(0): 512}
+        outcome = tune_wrapper(wrapper, A100, env,
+                               default_configs(max_total=4))
+        assert outcome.selected_config is not None
+        block = int(outcome.selected_config.get("block_total", 1))
+        thread = int(outcome.selected_config.get("thread_total", 1))
+        assert outcome.selected_desc.startswith("block=")
+        # desc is "block=AxB thread=CxD"; totals must multiply out
+        desc_block, desc_thread = outcome.selected_desc.split()
+        prod = lambda text: int(np.prod(
+            [int(p) for p in text.split("=")[1].split("x")]))
+        assert prod(desc_block) == block
+        assert prod(desc_thread) == thread
+
+
+class TestStableModelKeys:
+    def test_stable_uid_unique_and_sticky(self):
+        module, name, wrapper, report = build_alt()
+        loops = report.op.ops_matching("scf.parallel")
+        uids = [op.stable_uid() for op in loops]
+        assert len(set(uids)) == len(uids)
+        assert [op.stable_uid() for op in loops] == uids  # sticky
+
+    def test_clones_get_fresh_uids(self):
+        module, name, wrapper, report = build_alt()
+        loop = report.op.ops_matching("scf.parallel")[0]
+        uid = loop.stable_uid()
+        clone = loop.clone({})
+        assert clone.stable_uid() != uid
+
+    def test_uids_never_reused_after_gc(self):
+        seen = set()
+        for _ in range(50):
+            module, name, wrapper, report = build_alt(
+                configs=[{"block_total": 1}])
+            loop = report.op.ops_matching("scf.parallel")[0]
+            uid = loop.stable_uid()
+            assert uid not in seen, "stable_uid reused a dead loop's key"
+            seen.add(uid)
+            del module, wrapper, report, loop
+            gc.collect()
+
+
+class TestSelectorAndSpeedupGuards:
+    def test_fixed_selector_raises_out_of_range(self):
+        module, name, wrapper, report = build_alt()
+        select = _fixed_selector(len(report.op.regions))
+        with pytest.raises(IndexError):
+            select(report.op)
+        # in-range indices pass through unclamped
+        assert _fixed_selector(0)(report.op) == 0
+
+    def test_speedup_over_zero_selected_time(self):
+        outcome = TuneOutcome("fast", 0.0, [
+            Candidate(0, "base", 1.0, True),
+            Candidate(1, "fast", 0.0, True),
+        ])
+        assert outcome.speedup_over("base") == float("inf")
+        assert outcome.speedup_over("fast") == 1.0
+        assert outcome.speedup_over("missing") == 1.0
+
+    def test_speedup_over_normal_case(self):
+        outcome = TuneOutcome("fast", 0.5, [
+            Candidate(0, "base", 1.0, True),
+            Candidate(1, "fast", 0.5, True),
+        ])
+        assert outcome.speedup_over("base") == pytest.approx(2.0)
+
+
+class TestModelMemoization:
+    def test_time_launch_memoized_and_isolated(self):
+        from repro.simulator.model import KernelModel
+        module, name, wrapper, report = build_alt(
+            configs=[{"block_total": 1}])
+        loop = report.op.ops_matching("scf.parallel")[0]
+        model = KernelModel(loop, A100)
+        first = model.time_launch(128)
+        second = model.time_launch(128)
+        assert first.time_seconds == second.time_seconds
+        assert first.metrics is not second.metrics
+        assert first.breakdown is not second.breakdown
+        # mutating one caller's copy must not leak into the next
+        first.metrics.time_seconds = -1.0
+        first.breakdown["compute"] = -1.0
+        third = model.time_launch(128)
+        assert third.metrics.time_seconds == second.metrics.time_seconds
+        assert third.breakdown["compute"] == second.breakdown["compute"]
+        # different block counts are distinct entries
+        model.time_launch(256)
+        assert set(model._timing_cache) == {128, 256}
