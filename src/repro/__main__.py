@@ -10,7 +10,15 @@ Commands mirror the Polygeist-GPU driver workflow:
   the manual fixes a human would still need (§VII-D1);
 * ``targets``   — list the available GPU architecture models (Table I);
 * ``cache``     — inspect or clear the on-disk tuning cache
-  (``$REPRO_TUNING_CACHE``).
+  (``$REPRO_TUNING_CACHE``);
+* ``trace``     — summarize a recorded Chrome trace-event JSON file
+  (produced by ``tune --trace``).
+
+``tune --trace out.json`` records every compilation stage — parse, each
+cleanup pass, each pruning filter, each modeled alternative — as a Chrome
+trace loadable in Perfetto; ``tune --explain`` prints why every generated
+alternative was eliminated or selected. ``-v``/``-q`` control the
+``repro`` logger hierarchy.
 """
 
 from __future__ import annotations
@@ -58,41 +66,121 @@ def cmd_emit_ir(args) -> int:
     return 0
 
 
+def _run_full_tune(source: str, kernel: str, block, grids, arch, configs,
+                   engine):
+    """The full §VI flow (alternatives → filters → TDO) for one kernel.
+
+    This is what ``tune --trace`` / ``tune --explain`` observe: unlike
+    the sweep table (which models *every* configuration unfiltered), it
+    runs the pruning filters, so the trace contains the filter stages and
+    the decision log names an eliminating stage per alternative.
+    """
+    from .autotune import tune_wrapper
+    from .dialects import polygeist
+    from .frontend import ModuleGenerator, parse_translation_unit
+    from .transforms import run_cleanup
+
+    with engine.stats.stage("parse"):
+        unit = parse_translation_unit(source)
+        generator = ModuleGenerator(unit)
+    wrapper_name = generator.get_launch_wrapper(kernel, len(grids[0]),
+                                                block)
+    with engine.stats.stage("cleanup"):
+        run_cleanup(generator.module)
+    f = generator.module.func(wrapper_name)
+    wrapper = polygeist.find_gpu_wrappers(f)[0]
+    grid_args = f.body_block().args[:len(grids[0])]
+    envs = [dict(zip(grid_args, grid)) for grid in grids]
+    return tune_wrapper(wrapper, arch, envs, configs, engine=engine)
+
+
 def cmd_tune(args) -> int:
     from .autotune import paper_sweep_configs
     from .benchsuite.experiments import sweep_kernel_configs
-    from .engine import TuningEngine
+    from .engine import EngineStats, TuningEngine
+    from .obs import decisions as obs_decisions
+    from .obs import metrics as obs_metrics
+    from .obs import tracer as obs_tracer
+    from .obs.export import write_chrome_trace
     from .targets import arch_by_name
 
     arch = arch_by_name(args.arch)
     block = _parse_dims(args.block)
     grid = _parse_dims(args.grid)
-    engine = TuningEngine(workers=args.workers)
-    sweep = sweep_kernel_configs(
-        _load_source(args.file), args.kernel, block, [grid], arch,
-        paper_sweep_configs(max_product=args.max_factor), engine=engine)
-    baseline = sweep.baseline()
-    if baseline is None:
-        print("baseline configuration failed to model", file=sys.stderr)
+    configs = paper_sweep_configs(max_product=args.max_factor)
+    tracer = None
+    registry = None
+    log = None
+    if args.trace:
+        # one registry backs both the engine's stage stats and the
+        # engine-less instrumentation sites (passes, filters, model)
+        registry = obs_metrics.install(obs_metrics.MetricsRegistry())
+        tracer = obs_tracer.install(obs_tracer.Tracer())
+        engine = TuningEngine(workers=args.workers,
+                              stats=EngineStats(registry=registry))
+    else:
+        engine = TuningEngine(workers=args.workers)
+    try:
+        sweep = sweep_kernel_configs(
+            _load_source(args.file), args.kernel, block, [grid], arch,
+            configs, engine=engine)
+        baseline = sweep.baseline()
+        if baseline is None:
+            print("baseline configuration failed to model",
+                  file=sys.stderr)
+            return 1
+        print("%-26s %14s %10s" % ("configuration", "modeled time",
+                                   "speedup"))
+        print("-" * 54)
+        for result in sorted(sweep.results, key=lambda r: r.seconds):
+            if result.valid:
+                print("%-26s %13.3es %9.2fx" %
+                      (result.desc, result.seconds,
+                       baseline.seconds / result.seconds))
+            else:
+                print("%-26s %14s  (%s)" % (result.desc, "invalid",
+                                            result.reason))
+        best = sweep.best()
+        print("-" * 54)
+        print("best: %s (%.2fx) on %s" %
+              (best.desc, baseline.seconds / best.seconds, arch.name))
+        if args.explain or args.trace:
+            log = obs_decisions.install(obs_decisions.DecisionLog())
+            try:
+                _run_full_tune(_load_source(args.file), args.kernel,
+                               block, [grid], arch, configs, engine)
+            except ValueError as error:
+                print("cannot explain: %s" % error, file=sys.stderr)
+            finally:
+                obs_decisions.uninstall()
+        if args.explain and log is not None and len(log):
+            print()
+            print(log.explain())
+        if args.stats:
+            print()
+            print("engine stages (%r):" % engine.backend)
+            print(engine.stats.report())
+    finally:
+        if tracer is not None:
+            obs_tracer.uninstall()
+            obs_metrics.uninstall()
+            write_chrome_trace(args.trace, tracer, metrics=registry,
+                               decisions=log)
+            print("wrote %d spans to %s" % (len(tracer), args.trace),
+                  file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs.export import summarize_trace_file
+
+    try:
+        summary = summarize_trace_file(args.file, top=args.top)
+    except (OSError, ValueError) as error:
+        print("cannot summarize %s: %s" % (args.file, error),
+              file=sys.stderr)
         return 1
-    print("%-26s %14s %10s" % ("configuration", "modeled time", "speedup"))
-    print("-" * 54)
-    for result in sorted(sweep.results, key=lambda r: r.seconds):
-        if result.valid:
-            print("%-26s %13.3es %9.2fx" %
-                  (result.desc, result.seconds,
-                   baseline.seconds / result.seconds))
-        else:
-            print("%-26s %14s  (%s)" % (result.desc, "invalid",
-                                        result.reason))
-    best = sweep.best()
-    print("-" * 54)
-    print("best: %s (%.2fx) on %s" %
-          (best.desc, baseline.seconds / best.seconds, arch.name))
-    if args.stats:
-        print()
-        print("engine stages (%r):" % engine.backend)
-        print(engine.stats.report())
+    print(summary)
     return 0
 
 
@@ -146,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on the 'repro' logger "
+                             "(-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     emit = sub.add_parser("emit-ir", help="print the parallel IR")
@@ -172,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "$REPRO_TUNE_WORKERS or sequential)")
     tune.add_argument("--stats", action="store_true",
                       help="print per-stage engine timings after the sweep")
+    tune.add_argument("--trace", metavar="FILE",
+                      help="record a Chrome trace-event JSON of the whole "
+                           "pipeline (open in Perfetto)")
+    tune.add_argument("--explain", action="store_true",
+                      help="print why each alternative was eliminated "
+                           "or selected")
     tune.set_defaults(fn=cmd_tune)
 
     cache = sub.add_parser("cache", help="inspect the on-disk tuning cache")
@@ -187,11 +286,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     targets = sub.add_parser("targets", help="list GPU models")
     targets.set_defaults(fn=cmd_targets)
+
+    trace = sub.add_parser("trace", help="summarize a recorded trace file")
+    trace.add_argument("action", choices=("summarize",))
+    trace.add_argument("file", help="Chrome trace-event JSON "
+                                    "(from tune --trace)")
+    trace.add_argument("--top", type=int, default=20,
+                       help="show the N hottest span names (default 20)")
+    trace.set_defaults(fn=cmd_trace)
     return parser
 
 
 def main(argv=None) -> int:
+    from .obs.log import configure_logging
+
     args = build_parser().parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
     return args.fn(args)
 
 

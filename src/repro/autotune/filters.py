@@ -18,6 +18,9 @@ from typing import List, Optional
 from ..analysis import shared_bytes_per_block
 from ..dialects import polygeist
 from ..ir import Operation
+from ..obs import decisions as obs_decisions
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..targets import GPUArchitecture, estimate_registers
 from ..transforms.alternatives import prune_alternatives
 from ..transforms.coarsen import block_parallels_in_region, thread_parallel
@@ -63,15 +66,27 @@ def prune_by_shared_memory(alt: Operation,
     """Stage 1: drop alternatives whose static shared memory cannot fit."""
     report = FilterReport()
     descs = polygeist.alternative_descs(alt)
-    for index in range(len(alt.regions)):
-        usage = _region_shared_bytes(alt, index)
-        if usage > arch.shared_mem_per_block:
-            report.dropped_shared.append(
-                "%s (%d B > %d B)" % (descs[index], usage,
-                                      arch.shared_mem_per_block))
-        else:
-            report.survivors.append(index)
-            report.survivor_descs.append(descs[index])
+    decision = obs_decisions.active_decision()
+    with obs_tracer.span("filters.shared_memory", category="filters",
+                         alternatives=len(alt.regions)) as span:
+        for index in range(len(alt.regions)):
+            usage = _region_shared_bytes(alt, index)
+            if usage > arch.shared_mem_per_block:
+                report.dropped_shared.append(
+                    "%s (%d B > %d B)" % (descs[index], usage,
+                                          arch.shared_mem_per_block))
+                if decision is not None:
+                    decision.eliminate(
+                        descs[index], obs_decisions.SHARED_MEMORY,
+                        "%d B static shared memory exceeds the %d B "
+                        "per-block limit" % (usage,
+                                             arch.shared_mem_per_block))
+            else:
+                report.survivors.append(index)
+                report.survivor_descs.append(descs[index])
+        span.set(survivors=len(report.survivors),
+                 dropped=len(report.dropped_shared))
+    obs_metrics.inc("filters.dropped_shared", len(report.dropped_shared))
     if report.survivors and len(report.survivors) < len(alt.regions):
         prune_alternatives(alt, report.survivors)
     return report
@@ -87,25 +102,39 @@ def prune_by_registers(alt: Operation, arch: GPUArchitecture,
     report = FilterReport()
     descs = polygeist.alternative_descs(alt)
     indices = range(len(alt.regions))
-    if backend is None:
-        spills = [_region_max_registers(alt, i, arch) for i in indices]
-    else:
-        spills = list(backend.map(
-            lambda i: _region_max_registers(alt, i, arch), indices))
-    for index, spilled in enumerate(spills):
-        if spilled == 0:
-            report.survivors.append(index)
-            report.survivor_descs.append(descs[index])
+    with obs_tracer.span("filters.registers", category="filters",
+                         alternatives=len(alt.regions)) as span:
+        if backend is None:
+            spills = [_region_max_registers(alt, i, arch) for i in indices]
         else:
-            report.dropped_spills.append(
-                "%s (%d spilled registers)" % (descs[index], spilled))
-    if not report.survivors:
-        # everything spills: keep the least-bad one
-        best = min(range(len(spills)), key=lambda i: spills[i])
-        report.survivors = [best]
-        report.survivor_descs = [descs[best]]
-        report.dropped_spills = [d for i, d in enumerate(
-            report.dropped_spills) if i != best]
+            spills = list(backend.map(
+                lambda i: _region_max_registers(alt, i, arch), indices))
+        for index, spilled in enumerate(spills):
+            if spilled == 0:
+                report.survivors.append(index)
+                report.survivor_descs.append(descs[index])
+            else:
+                report.dropped_spills.append(
+                    "%s (%d spilled registers)" % (descs[index], spilled))
+        if not report.survivors:
+            # everything spills: keep the least-bad one
+            best = min(range(len(spills)), key=lambda i: spills[i])
+            report.survivors = [best]
+            report.survivor_descs = [descs[best]]
+            report.dropped_spills = [d for i, d in enumerate(
+                report.dropped_spills) if i != best]
+        span.set(survivors=len(report.survivors),
+                 dropped=len(alt.regions) - len(report.survivors))
+    decision = obs_decisions.active_decision()
+    if decision is not None:
+        survivor_set = set(report.survivors)
+        for index, spilled in enumerate(spills):
+            if spilled > 0 and index not in survivor_set:
+                decision.eliminate(
+                    descs[index], obs_decisions.REGISTERS,
+                    "%d register(s) spill to local memory" % spilled)
+    obs_metrics.inc("filters.dropped_spills",
+                    len(alt.regions) - len(report.survivors))
     if len(report.survivors) < len(alt.regions):
         prune_alternatives(alt, report.survivors)
     return report
@@ -122,18 +151,25 @@ def run_filters(alt: Operation, arch: GPUArchitecture,
     """
     original_descs = list(polygeist.alternative_descs(alt))
     total = len(alt.regions)
-    shared_report = prune_by_shared_memory(alt, arch)
-    # when stage 1 pruned nothing (all survived, or none did and pruning
-    # was skipped), stage-2 indices are already original indices
-    if shared_report.survivors and \
-            len(shared_report.survivors) < total:
-        base = shared_report.survivors
-    else:
-        base = list(range(total))
-    register_report = prune_by_registers(alt, arch, backend=backend)
-    merged = FilterReport(
-        survivors=[base[i] for i in register_report.survivors])
-    merged.survivor_descs = [original_descs[i] for i in merged.survivors]
-    merged.dropped_shared = shared_report.dropped_shared
-    merged.dropped_spills = register_report.dropped_spills
+    with obs_tracer.span("filters", category="filters",
+                         alternatives=total) as span:
+        shared_report = prune_by_shared_memory(alt, arch)
+        # when stage 1 pruned nothing (all survived, or none did and
+        # pruning was skipped), stage-2 indices are already original
+        # indices
+        if shared_report.survivors and \
+                len(shared_report.survivors) < total:
+            base = shared_report.survivors
+        else:
+            base = list(range(total))
+        register_report = prune_by_registers(alt, arch, backend=backend)
+        merged = FilterReport(
+            survivors=[base[i] for i in register_report.survivors])
+        merged.survivor_descs = [original_descs[i]
+                                 for i in merged.survivors]
+        merged.dropped_shared = shared_report.dropped_shared
+        merged.dropped_spills = register_report.dropped_spills
+        span.set(survivors=len(merged.survivors))
+    obs_metrics.inc("filters.runs")
+    obs_metrics.inc("filters.survivors", len(merged.survivors))
     return merged

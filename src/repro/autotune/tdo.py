@@ -15,11 +15,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dialects import polygeist
 from ..ir import Module, Operation, Value
+from ..obs import decisions as obs_decisions
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.log import get_logger
 from ..simulator.model import InvalidLaunch, LaunchTiming, block_count
 from ..targets import GPUArchitecture
 from ..transforms.alternatives import select_alternative
 from ..transforms.coarsen import block_parallels_in_region
 from .filters import FilterReport, run_filters
+
+logger = get_logger("autotune.tdo")
 
 
 def _cleanup_alternatives(wrapper: Operation) -> None:
@@ -119,28 +125,71 @@ def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
     blocks_cache: Dict[tuple, int] = {}
 
     def evaluate(index: int) -> Candidate:
-        try:
-            seconds = sum(_time_region(alt, index, arch, one, model_cache,
-                                       blocks_cache)
-                          for one in envs)
-            return Candidate(index, descs[index], seconds, True)
-        except InvalidLaunch as error:
-            return Candidate(index, descs[index], float("inf"),
-                             False, str(error))
+        # one span per simulated profiling run; runs inside worker
+        # threads under a parallel backend, which the tracer supports
+        with obs_tracer.span("tdo.alternative", category="tdo",
+                             desc=descs[index]) as span:
+            try:
+                seconds = sum(_time_region(alt, index, arch, one,
+                                           model_cache, blocks_cache)
+                              for one in envs)
+                span.set(seconds=seconds)
+                obs_metrics.observe("tdo.alternative_seconds", seconds)
+                return Candidate(index, descs[index], seconds, True)
+            except InvalidLaunch as error:
+                span.set(invalid=str(error))
+                return Candidate(index, descs[index], float("inf"),
+                                 False, str(error))
 
     indices = range(len(alt.regions))
-    if backend is None:
-        candidates = [evaluate(index) for index in indices]
-    else:
-        candidates = list(backend.map(evaluate, indices))
+    with obs_tracer.span("tdo", category="tdo",
+                         alternatives=len(alt.regions),
+                         launches=len(envs)):
+        if backend is None:
+            candidates = [evaluate(index) for index in indices]
+        else:
+            candidates = list(backend.map(evaluate, indices))
+    obs_metrics.inc("tdo.evaluations", len(candidates))
     valid = [c for c in candidates if c.valid]
     if not valid:
         raise InvalidLaunch("no alternative can launch on %s" % arch.name)
     best = min(valid, key=lambda c: c.time_seconds)
+    decision = obs_decisions.active_decision()
+    if decision is not None:
+        for candidate in candidates:
+            if candidate is best:
+                continue
+            if not candidate.valid:
+                decision.eliminate(candidate.desc, obs_decisions.TIMING,
+                                   "invalid launch: %s" % candidate.reason)
+            else:
+                decision.set_time(candidate.desc, candidate.time_seconds)
+                if best.time_seconds > 0.0:
+                    margin = candidate.time_seconds / best.time_seconds
+                    reason = "%.3es modeled, %.2fx slower than the " \
+                             "winner" % (candidate.time_seconds, margin)
+                else:
+                    reason = "%.3es modeled, slower than the winner" \
+                             % candidate.time_seconds
+                decision.eliminate(candidate.desc, obs_decisions.TIMING,
+                                   reason)
+        decision.select(best.desc, best.time_seconds)
+    logger.info("TDO selected %s (%.3es) out of %d alternatives",
+                best.desc, best.time_seconds, len(candidates))
     if select:
         select_alternative(alt, best.index)
     return TuneOutcome(best.desc, best.time_seconds, candidates,
                        selected_index=best.index)
+
+
+def _wrapper_label(wrapper: Operation) -> str:
+    """The enclosing function's symbol name, for decision-log headers."""
+    root = wrapper
+    while root is not None and root.name != "func.func":
+        root = root.parent_op
+    if root is not None:
+        return str(root.attr("sym_name") or "gpu_wrapper")
+    return "gpu_wrapper"
 
 
 def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
@@ -162,11 +211,23 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
     def stage(name):
         return stats.stage(name) if stats is not None else nullcontext()
 
-    with stage("alternatives"):
+    log = obs_decisions.current()
+    decision = log.begin(_wrapper_label(wrapper), arch.name) \
+        if log is not None else None
+    with stage("alternatives"), \
+            obs_tracer.span("tune.alternatives", category="tune"):
         report = generate_coarsening_alternatives(wrapper, configs)
     if stats is not None:
         stats.count("alternative_generations")
         stats.count("alternatives_generated", len(report.alternatives))
+    obs_metrics.inc("alternatives_generated", len(report.alternatives))
+    if decision is not None:
+        for info in report.alternatives:
+            decision.add(info.desc, config=dict(info.config))
+        for config, reason in report.rejected_configs:
+            decision.add(repr(config), config=config)
+            decision.eliminate(repr(config), obs_decisions.GENERATION,
+                               "illegal coarsening: %s" % reason)
     if report.op is None:
         raise ValueError("no legal coarsening configuration: %s" %
                          "; ".join(report.rejected))

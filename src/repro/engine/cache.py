@@ -23,8 +23,12 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..obs.log import get_logger
+
 #: environment variable naming the on-disk cache directory
 CACHE_DIR_ENV = "REPRO_TUNING_CACHE"
+
+logger = get_logger("engine.cache")
 
 
 @dataclass
@@ -131,15 +135,21 @@ class TuningCache:
         """Returns ``(hit, entry)``; the entry is a private copy."""
         entry = self._memory.get(key)
         if entry is not None:
+            logger.debug("memory hit for %s", key)
             return True, copy.deepcopy(entry)
         if self.path:
             entry = self._load(key)
             if entry is not None:
+                logger.debug("disk hit for %s", key)
                 self._memory[key] = entry
                 return True, copy.deepcopy(entry)
+        logger.debug("miss for %s", key)
         return False, None
 
     def store(self, key: str, entry: CacheEntry) -> None:
+        logger.debug("store %s (winner: %s)", key,
+                     entry.outcome.selected_desc
+                     if entry.outcome is not None else "<failed tuning>")
         self._memory[key] = copy.deepcopy(entry)
         if self.path:
             self._dump(key, entry)

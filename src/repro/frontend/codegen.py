@@ -296,11 +296,14 @@ class ModuleGenerator:
     """Generates a :class:`Module` from a parsed translation unit."""
 
     def __init__(self, unit: ast.TranslationUnit):
+        from ..obs import tracer as obs_tracer
         self.unit = unit
         self.module = Module()
         self.module_builder = Builder(self.module.body)
         self._wrapper_cache: Dict[Tuple, str] = {}
-        self._emit_globals()
+        with obs_tracer.span("frontend.codegen.globals",
+                             category="frontend"):
+            self._emit_globals()
 
     # -- public API ------------------------------------------------------------
 
@@ -329,8 +332,11 @@ class ModuleGenerator:
             raise CodegenError("no kernel named %r" % kernel_name)
         wrapper_name = "%s__g%db%s" % (
             kernel_name, grid_rank, "x".join(map(str, block_shape)))
-        self._emit_launch_wrapper(wrapper_name, kernel, grid_rank,
-                                  tuple(block_shape))
+        from ..obs import tracer as obs_tracer
+        with obs_tracer.span("frontend.codegen", category="frontend",
+                             kernel=kernel_name, wrapper=wrapper_name):
+            self._emit_launch_wrapper(wrapper_name, kernel, grid_rank,
+                                      tuple(block_shape))
         self._wrapper_cache[key] = wrapper_name
         return wrapper_name
 

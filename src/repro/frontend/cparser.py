@@ -513,5 +513,12 @@ def _sizeof(type_: ast.CType) -> int:
 
 def parse_translation_unit(source: str, defines=None) -> ast.TranslationUnit:
     """Preprocess, tokenize, and parse a CUDA source file."""
-    text = preprocess(source, defines)
-    return Parser(tokenize(text)).parse_translation_unit()
+    from ..obs import tracer as obs_tracer
+    with obs_tracer.span("frontend.parse", category="frontend",
+                         bytes=len(source)):
+        with obs_tracer.span("frontend.preprocess", category="frontend"):
+            text = preprocess(source, defines)
+        with obs_tracer.span("frontend.tokenize", category="frontend"):
+            tokens = tokenize(text)
+        with obs_tracer.span("frontend.ast", category="frontend"):
+            return Parser(tokens).parse_translation_unit()

@@ -217,7 +217,9 @@ class _OpParser:
             cursor.expect("}")
         cursor.expect(":")
         func_type = parse_type(cursor)
-        assert isinstance(func_type, FunctionType)
+        if not isinstance(func_type, FunctionType):
+            raise ParseError("expected a function type after ':'",
+                             cursor.text, cursor.pos)
         operands = []
         for name, type_ in zip(operand_names, func_type.inputs):
             if name not in self.values:

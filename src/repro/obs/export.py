@@ -1,0 +1,160 @@
+"""Trace exporters: Chrome trace-event JSON and plain-text flame summary.
+
+The JSON follows the Trace Event Format's ``X`` (complete) events, which
+both Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly. Metrics and decision-log snapshots ride along under the
+format's ``otherData`` key, so one file carries the whole observation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .decisions import DecisionLog
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+
+def _tid_table(spans: Sequence[Span]) -> Dict[int, int]:
+    """Compact huge OS thread idents to small stable ids (0 = first seen)."""
+    table: Dict[int, int] = {}
+    for span in spans:
+        if span.tid not in table:
+            table[span.tid] = len(table)
+    return table
+
+
+def chrome_trace_events(spans: Sequence[Span],
+                        pid: Optional[int] = None) -> List[dict]:
+    """Convert spans to Chrome trace-event ``X`` (complete) events."""
+    pid = pid if pid is not None else os.getpid()
+    tids = _tid_table(spans)
+    events = []
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,        # microseconds
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tids[span.tid],
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    return events
+
+
+def trace_payload(tracer: Tracer,
+                  metrics: Optional[MetricsRegistry] = None,
+                  decisions: Optional[DecisionLog] = None) -> dict:
+    """The full JSON document for one observed run."""
+    other: Dict[str, object] = {}
+    if metrics is not None:
+        other["metrics"] = metrics.snapshot()
+    if decisions is not None:
+        other["decisions"] = decisions.as_dict()["decisions"]
+    payload = {
+        "traceEvents": chrome_trace_events(tracer.finished()),
+        "displayTimeUnit": "ms",
+    }
+    if other:
+        payload["otherData"] = other
+    return payload
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       metrics: Optional[MetricsRegistry] = None,
+                       decisions: Optional[DecisionLog] = None) -> dict:
+    """Write the trace JSON to ``path``; returns the payload written."""
+    payload = trace_payload(tracer, metrics, decisions)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, default=str)
+    return payload
+
+
+# -- flame summary ------------------------------------------------------------
+
+def _aggregate(rows: Iterable[Tuple[str, float, float]]
+               ) -> List[Tuple[str, int, float, float]]:
+    """Aggregate (name, duration, self) rows to per-name totals."""
+    totals: Dict[str, List[float]] = {}
+    for name, duration, self_seconds in rows:
+        entry = totals.setdefault(name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += duration
+        entry[2] += self_seconds
+    return [(name, int(calls), total, self_total)
+            for name, (calls, total, self_total) in totals.items()]
+
+
+def _format_summary(aggregated: List[Tuple[str, int, float, float]],
+                    top: Optional[int] = None) -> str:
+    aggregated = sorted(aggregated, key=lambda row: row[3], reverse=True)
+    grand_self = sum(row[3] for row in aggregated) or 1.0
+    if top is not None:
+        aggregated = aggregated[:top]
+    width = max([len(row[0]) for row in aggregated] + [4])
+    lines = ["%-*s %8s %12s %12s %7s" % (width, "span", "calls",
+                                         "total", "self", "self%"),
+             "-" * (width + 43)]
+    for name, calls, total, self_total in aggregated:
+        lines.append("%-*s %8d %11.6fs %11.6fs %6.1f%%" % (
+            width, name, calls, total, self_total,
+            100.0 * self_total / grand_self))
+    return "\n".join(lines)
+
+
+def flame_summary(spans: Sequence[Span], top: Optional[int] = None) -> str:
+    """Per-span-name table of calls / total / self time, hottest first."""
+    return _format_summary(_aggregate(
+        (span.name, span.duration, span.self_seconds) for span in spans),
+        top=top)
+
+
+def summarize_events(events: Sequence[dict],
+                     top: Optional[int] = None) -> str:
+    """Flame summary from raw Chrome trace events (e.g. a loaded file).
+
+    Self time is reconstructed from interval containment per thread:
+    events fully inside another event on the same tid are its children.
+    """
+    rows: List[Tuple[str, float, float]] = []
+    by_tid: Dict[object, List[dict]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        by_tid.setdefault(event.get("tid"), []).append(event)
+    for tid_events in by_tid.values():
+        # sort by start asc, then duration desc so parents precede children
+        tid_events.sort(key=lambda e: (e.get("ts", 0.0),
+                                       -e.get("dur", 0.0)))
+        stack: List[List] = []  # [name, end_ts, dur, child_dur]
+        for event in tid_events:
+            ts = float(event.get("ts", 0.0))
+            dur = float(event.get("dur", 0.0))
+            while stack and stack[-1][1] <= ts:
+                name, _, total, child = stack.pop()
+                rows.append((name, total / 1e6,
+                             max(0.0, total - child) / 1e6))
+            if stack:
+                stack[-1][3] += dur
+            stack.append([event.get("name", "?"), ts + dur, dur, 0.0])
+        while stack:
+            name, _, total, child = stack.pop()
+            rows.append((name, total / 1e6, max(0.0, total - child) / 1e6))
+    return _format_summary(_aggregate(rows), top=top)
+
+
+def summarize_trace_file(path: str, top: Optional[int] = None) -> str:
+    """Load a Chrome trace JSON file and return its flame summary."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents", [])
+    else:  # the JSON-array flavor of the format
+        events = payload
+    return summarize_events(events, top=top)

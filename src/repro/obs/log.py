@@ -1,0 +1,62 @@
+"""The single ``repro`` logger hierarchy.
+
+Every module that wants diagnostics gets a child of the one ``repro``
+logger via :func:`get_logger` (``get_logger("engine.cache")`` →
+``repro.engine.cache``), so one call configures them all. The CLI's
+``-v`` / ``-vv`` / ``-q`` flags map onto :func:`configure_logging`
+verbosity levels; library users can instead attach their own handlers to
+``logging.getLogger("repro")`` as usual.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: name of the root logger of the hierarchy
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``""`` → the root)."""
+    return logging.getLogger(
+        ROOT_LOGGER + ("." + name if name else ""))
+
+
+def configure_logging(verbosity: int = 0,
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger for CLI use.
+
+    ``verbosity``: ``-1`` quiet (errors only), ``0`` default (warnings),
+    ``1`` info (``-v``), ``2``+ debug (``-vv``). Installs one stderr
+    handler the first time; reconfigures its level on later calls.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    handler = _own_handler(logger)
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None
+                                        else sys.stderr)
+        handler.set_name("repro-cli")
+        handler.setFormatter(
+            logging.Formatter("%(name)s: %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    handler.setLevel(level)
+    return logger
+
+
+def _own_handler(logger: logging.Logger) -> Optional[logging.Handler]:
+    for handler in logger.handlers:
+        if handler.get_name() == "repro-cli":
+            return handler
+    return None

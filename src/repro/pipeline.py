@@ -35,12 +35,17 @@ from .engine.cache import CacheEntry, source_hash, tuning_key
 from .frontend import ModuleGenerator, parse_translation_unit
 from .interpreter import Interpreter, MemoryBuffer
 from .ir import FloatType, IndexType, IntegerType, MemRefType
+from .obs import decisions as obs_decisions
+from .obs import tracer as obs_tracer
+from .obs.log import get_logger
 from .runtime import DeviceBuffer, GPURuntime
 from .simulator.model import InvalidLaunch
 from .targets import A100, GPUArchitecture
 from .transforms import run_cleanup
 
 TIERS = ("clang", "polygeist-noopt", "polygeist", "polygeist-heuristic")
+
+logger = get_logger("pipeline")
 
 
 @dataclass
@@ -83,9 +88,16 @@ class Program:
         """Per-stage wall time and cache counters of this program's engine.
 
         The default engine is process-wide, so the numbers aggregate over
-        every :class:`Program` sharing it.
+        every :class:`Program` sharing it. Everything comes from the
+        engine's single :class:`~repro.obs.metrics.MetricsRegistry`; the
+        ``gauges``/``histograms`` keys expose the raw instruments beyond
+        the classic stage/counter views.
         """
-        return self.engine.stats.as_dict()
+        payload = self.engine.stats.as_dict()
+        snapshot = self.engine.stats.registry.snapshot()
+        payload["gauges"] = snapshot["gauges"]
+        payload["histograms"] = snapshot["histograms"]
+        return payload
 
     def _run_cleanup(self, parallel: bool) -> None:
         with self.engine.stats.stage("cleanup"):
@@ -169,6 +181,13 @@ class Program:
                 self.engine.stats.count("alternatives_generated",
                                         len(report.alternatives))
                 if report.op is not None:
+                    log = obs_decisions.current()
+                    decision = log.begin(wrapper_name, self.arch.name) \
+                        if log is not None else None
+                    if decision is not None:
+                        for info in report.alternatives:
+                            decision.add(info.desc,
+                                         config=dict(info.config))
                     self._run_cleanup(True)
                     run_filters(report.op, self.arch)
                     coerced, _ = self._coerce_args(wrapper_name, grid, args)
@@ -186,15 +205,20 @@ class Program:
                                 _fixed_selector(index)
                             probe = GPURuntime(self.arch)
                             self._interpreter.tracer = probe.tracer
-                            for _ in range(runs_per_alternative):
-                                self._interpreter.run_func(
-                                    wrapper_name, list(coerced))
-                                # restore device state after EVERY run:
-                                # non-idempotent kernels (accumulators)
-                                # would otherwise time runs 2..N on
-                                # already-mutated inputs
-                                for buffer, snapshot in snapshots:
-                                    buffer.array[...] = snapshot
+                            with obs_tracer.span(
+                                    "profile.alternative",
+                                    category="profile",
+                                    desc=descs[index],
+                                    runs=runs_per_alternative):
+                                for _ in range(runs_per_alternative):
+                                    self._interpreter.run_func(
+                                        wrapper_name, list(coerced))
+                                    # restore device state after EVERY
+                                    # run: non-idempotent kernels
+                                    # (accumulators) would otherwise time
+                                    # runs 2..N on already-mutated inputs
+                                    for buffer, snapshot in snapshots:
+                                        buffer.array[...] = snapshot
                             candidates.append(Candidate(
                                 index, descs[index],
                                 probe.kernel_seconds /
@@ -204,6 +228,20 @@ class Program:
                         self._interpreter.alternative_selector = \
                             saved_selector
                     best = min(candidates, key=lambda c: c.time_seconds)
+                    if decision is not None:
+                        for candidate in candidates:
+                            if candidate is best:
+                                continue
+                            decision.set_time(candidate.desc,
+                                              candidate.time_seconds)
+                            decision.eliminate(
+                                candidate.desc, obs_decisions.TIMING,
+                                "%.3es profiled, slower than the winner"
+                                % candidate.time_seconds)
+                        decision.select(best.desc, best.time_seconds)
+                    logger.info("profiling selected %s (%.3es) for %s",
+                                best.desc, best.time_seconds,
+                                wrapper_name)
                     select_alternative(report.op, best.index)
                     self._run_cleanup(True)
                     self.tuning_outcomes[wrapper_name] = TuneOutcome(

@@ -34,6 +34,7 @@ from ..analysis import kernel_statistics, shared_bytes_per_block
 from ..analysis.uniformity import depends_on_values
 from ..dialects import arith, scf
 from ..ir import Operation, OpResult, Value
+from ..obs import tracer as obs_tracer
 from ..targets import (GPUArchitecture, Occupancy, compute_occupancy,
                        estimate_registers)
 from .coalescing import analyze_coalescing, analyze_shared_conflicts
@@ -190,6 +191,11 @@ class KernelModel:
         return cached.time_seconds
 
     def _compute_launch(self, num_blocks: int) -> LaunchTiming:
+        with obs_tracer.span("model.compute", category="simulator",
+                             blocks=num_blocks):
+            return self._compute_launch_inner(num_blocks)
+
+    def _compute_launch_inner(self, num_blocks: int) -> LaunchTiming:
         arch = self.arch
         occupancy = self.occupancy
         if num_blocks <= 0:
@@ -417,25 +423,29 @@ def model_wrapper_launch(wrapper: Operation, arch: GPUArchitecture,
     breakdown: Dict[str, float] = {}
     metrics = KernelMetrics()
     occupancy = None
-    for loop in block_parallels(wrapper):
-        blocks = block_count(loop, env)
-        if blocks is None:
-            raise InvalidLaunch("cannot evaluate grid size for modeling")
-        key = loop.stable_uid()
-        if models is not None and key in models:
-            model = models[key]
-        else:
-            model = KernelModel(loop, arch)
-            if models is not None:
-                models[key] = model
-        timing = model.time_launch(blocks)
-        if blocks > 0:
-            total_time += timing.time_seconds
-            _merge_metrics(metrics, timing.metrics)
-            for name, value in timing.breakdown.items():
-                breakdown[name] = breakdown.get(name, 0.0) + value
-            if occupancy is None:
-                occupancy = timing.occupancy
+    with obs_tracer.span("model.wrapper_launch",
+                         category="simulator") as span:
+        for loop in block_parallels(wrapper):
+            blocks = block_count(loop, env)
+            if blocks is None:
+                raise InvalidLaunch("cannot evaluate grid size for "
+                                    "modeling")
+            key = loop.stable_uid()
+            if models is not None and key in models:
+                model = models[key]
+            else:
+                model = KernelModel(loop, arch)
+                if models is not None:
+                    models[key] = model
+            timing = model.time_launch(blocks)
+            if blocks > 0:
+                total_time += timing.time_seconds
+                _merge_metrics(metrics, timing.metrics)
+                for name, value in timing.breakdown.items():
+                    breakdown[name] = breakdown.get(name, 0.0) + value
+                if occupancy is None:
+                    occupancy = timing.occupancy
+        span.set(seconds=total_time)
     if occupancy is None:
         occupancy = Occupancy(0, 0, 0.0, "none")
     metrics.time_seconds = total_time

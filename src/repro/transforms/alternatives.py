@@ -34,6 +34,8 @@ class AlternativesReport:
     op: Optional[Operation]
     alternatives: List[AlternativeInfo] = field(default_factory=list)
     rejected: List[str] = field(default_factory=list)
+    #: structured twin of ``rejected``: (config, reason) pairs
+    rejected_configs: List[tuple] = field(default_factory=list)
 
 
 def generate_coarsening_alternatives(
@@ -58,6 +60,7 @@ def generate_coarsening_alternatives(
             result = coarsen_wrapper(clone, **config)
         except CoarsenError as error:
             report.rejected.append("%r: %s" % (config, error))
+            report.rejected_configs.append((dict(config), str(error)))
             continue
         desc = result.describe()
         region = clone.region(0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..ir import Module, PassManager
+from ..obs import tracer as obs_tracer
 from .barrier_elim import BarrierElimination
 from .canonicalize import Canonicalize
 from .cse import CSE
@@ -33,4 +34,6 @@ def default_cleanup_pipeline(parallel_optimizations: bool = True
 def run_cleanup(module: Module, parallel_optimizations: bool = True,
                 max_iterations: int = 8) -> None:
     pipeline = default_cleanup_pipeline(parallel_optimizations)
-    pipeline.run_until_fixpoint(module, max_iterations)
+    with obs_tracer.span("cleanup", category="transforms",
+                         parallel=parallel_optimizations):
+        pipeline.run_until_fixpoint(module, max_iterations)
