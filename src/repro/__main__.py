@@ -5,7 +5,11 @@ Commands mirror the Polygeist-GPU driver workflow:
 * ``emit-ir``   — compile a .cu file and print the parallel IR for a kernel
   (optionally after coarsening), the Fig. 2/5 representation;
 * ``tune``      — sweep coarsening factors for a kernel and print the
-  TDO candidate table;
+  TDO candidate table (``--validate`` turns on the differential
+  equivalence gate);
+* ``validate``  — differentially validate every coarsening alternative of
+  a benchmark or kernel against the untransformed baseline, and run the
+  static barrier-legality lint;
 * ``hipify``    — run the source-to-source CUDA→HIP translation and report
   the manual fixes a human would still need (§VII-D1);
 * ``targets``   — list the available GPU architecture models (Table I);
@@ -111,15 +115,17 @@ def cmd_tune(args) -> int:
     tracer = None
     registry = None
     log = None
+    validate = args.validate or None
     if args.trace:
         # one registry backs both the engine's stage stats and the
         # engine-less instrumentation sites (passes, filters, model)
         registry = obs_metrics.install(obs_metrics.MetricsRegistry())
         tracer = obs_tracer.install(obs_tracer.Tracer())
         engine = TuningEngine(workers=args.workers,
-                              stats=EngineStats(registry=registry))
+                              stats=EngineStats(registry=registry),
+                              validate=validate)
     else:
-        engine = TuningEngine(workers=args.workers)
+        engine = TuningEngine(workers=args.workers, validate=validate)
     try:
         sweep = sweep_kernel_configs(
             _load_source(args.file), args.kernel, block, [grid], arch,
@@ -144,15 +150,23 @@ def cmd_tune(args) -> int:
         print("-" * 54)
         print("best: %s (%.2fx) on %s" %
               (best.desc, baseline.seconds / best.seconds, arch.name))
-        if args.explain or args.trace:
+        outcome = None
+        if args.explain or args.trace or engine.validate:
             log = obs_decisions.install(obs_decisions.DecisionLog())
             try:
-                _run_full_tune(_load_source(args.file), args.kernel,
-                               block, [grid], arch, configs, engine)
+                outcome = _run_full_tune(_load_source(args.file),
+                                         args.kernel, block, [grid], arch,
+                                         configs, engine)
             except ValueError as error:
-                print("cannot explain: %s" % error, file=sys.stderr)
+                print("full tune failed: %s" % error, file=sys.stderr)
+                if engine.validate:
+                    return 1
             finally:
                 obs_decisions.uninstall()
+        if engine.validate and outcome is not None \
+                and outcome.validation is not None:
+            print()
+            print(outcome.validation.summary())
         if args.explain and log is not None and len(log):
             print()
             print(log.explain())
@@ -168,6 +182,74 @@ def cmd_tune(args) -> int:
                                decisions=log)
             print("wrote %d spans to %s" % (len(tracer), args.trace),
                   file=sys.stderr)
+    return 0
+
+
+def _lint_source(source: str, launches) -> list:
+    """Build every distinct launch wrapper from ``launches`` and lint the
+    resulting module."""
+    from .frontend import ModuleGenerator, parse_translation_unit
+    from .transforms import run_cleanup
+    from .validate import lint_module
+
+    generator = ModuleGenerator(parse_translation_unit(source))
+    seen = set()
+    for kernel, grid, block in launches:
+        key = (kernel, len(grid), tuple(block))
+        if key not in seen:
+            seen.add(key)
+            generator.get_launch_wrapper(kernel, len(grid), tuple(block))
+    run_cleanup(generator.module)
+    return lint_module(generator.module)
+
+
+def cmd_validate(args) -> int:
+    from .benchsuite import BENCHMARKS, get_benchmark
+    from .frontend import parse_translation_unit
+    from .targets import arch_by_name
+    from .validate import validate_benchmark, validate_source
+
+    arch = arch_by_name(args.arch)
+    if args.target in BENCHMARKS:
+        bench = get_benchmark(args.target)
+        source = bench.source
+        launches = list(bench.iter_launches(args.size or
+                                            bench.verify_size))
+        report = validate_benchmark(args.target, arch, size=args.size,
+                                    seed=args.seed)
+    else:
+        source = _load_source(args.target)
+        kernels = [f.name for f in
+                   parse_translation_unit(source).kernels()]
+        if not kernels:
+            print("no __global__ kernels found", file=sys.stderr)
+            return 1
+        kernel = args.kernel or kernels[0]
+        grid = _parse_dims(args.grid)
+        block = _parse_dims(args.block)
+        launches = [(kernel, grid, block)]
+        report = validate_source(source, kernel, grid, block,
+                                 seed=args.seed)
+
+    lint_reports = _lint_source(source, launches)
+    findings = [f for r in lint_reports for f in r.findings]
+    if findings:
+        print("lint: %d finding(s)" % len(findings))
+        for lint_report in lint_reports:
+            if lint_report.findings:
+                print(lint_report.summary())
+    else:
+        print("lint: clean (%d wrapper(s))" % len(lint_reports))
+    print()
+    print(report.summary())
+    errors = [f for f in findings if f.severity == "error"]
+    if not report.ok or errors:
+        divergence = report.first_divergence
+        if divergence is not None:
+            print()
+            print("first failing alternative: %s" % divergence.desc,
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -271,7 +353,29 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--explain", action="store_true",
                       help="print why each alternative was eliminated "
                            "or selected")
+    tune.add_argument("--validate", action="store_true",
+                      help="differentially validate every surviving "
+                           "alternative against the uncoarsened baseline "
+                           "before timing (also: $REPRO_VALIDATE)")
     tune.set_defaults(fn=cmd_tune)
+
+    validate = sub.add_parser(
+        "validate", help="differential transform validation + barrier lint")
+    validate.add_argument("target",
+                          help="benchsuite name (e.g. lud) or a .cu file")
+    validate.add_argument("--arch", default="a100")
+    validate.add_argument("--kernel",
+                          help=".cu mode: kernel name (default: first)")
+    validate.add_argument("--grid", default="4",
+                          help=".cu mode: grid dims, comma separated")
+    validate.add_argument("--block", default="64",
+                          help=".cu mode: block dims, comma separated")
+    validate.add_argument("--size", type=int, default=None,
+                          help="benchmark mode: problem size "
+                               "(default: the verify size)")
+    validate.add_argument("--seed", type=int, default=0,
+                          help="input-seeding RNG seed")
+    validate.set_defaults(fn=cmd_validate)
 
     cache = sub.add_parser("cache", help="inspect the on-disk tuning cache")
     cache.add_argument("action", choices=("info", "clear"))

@@ -61,6 +61,8 @@ class TuneOutcome:
     selected_index: int = -1
     #: coarsening kwargs of the winner, for cache replay
     selected_config: Optional[Dict[str, object]] = None
+    #: differential-validation report, when the gate ran
+    validation: Optional[object] = None
 
     def speedup_over(self, baseline_desc: str) -> float:
         for candidate in self.candidates:
@@ -192,6 +194,72 @@ def _wrapper_label(wrapper: Operation) -> str:
     return "gpu_wrapper"
 
 
+def _clone_baseline(wrapper: Operation
+                    ) -> Tuple[Optional[Operation], Optional[Operation]]:
+    """A detached clone of the enclosing func, taken *before* alternative
+    generation erases the wrapper body, plus the cloned wrapper matching
+    ``wrapper`` (for launch-shape sizing). ``(None, None)`` when the
+    wrapper is not nested in a function."""
+    func_op = wrapper
+    while func_op is not None and func_op.name != "func.func":
+        func_op = func_op.parent_op
+    if func_op is None:
+        return None, None
+    wrappers = polygeist.find_gpu_wrappers(func_op)
+    position = next((i for i, w in enumerate(wrappers) if w is wrapper), -1)
+    baseline_func = func_op.clone({})
+    clones = polygeist.find_gpu_wrappers(baseline_func)
+    if not 0 <= position < len(clones):
+        return None, None
+    return baseline_func, clones[position]
+
+
+def _validation_gate(alt: Operation, baseline_func: Operation,
+                     sizing_wrapper: Operation, env, decision
+                     ) -> Tuple[object, Optional[List[int]]]:
+    """Run the differential gate on a (post-filter) alternatives op.
+
+    Prunes diverging regions in place and returns ``(report, keep)`` where
+    ``keep`` maps post-validation region indices back to post-filter ones
+    (``None`` when nothing was pruned). Raises when every alternative is
+    rejected."""
+    from ..transforms.alternatives import prune_alternatives
+    from ..validate import validate_alternatives
+
+    env0 = env[0] if isinstance(env, (list, tuple)) else env
+    validation = validate_alternatives(baseline_func, alt, env0,
+                                       sizing_wrapper)
+    if validation.baseline_note and decision is not None:
+        decision.note("validation inconclusive: baseline not executable: %s"
+                      % validation.baseline_note)
+    rejected = 0
+    for verdict in validation.verdicts:
+        if verdict.passed:
+            continue
+        rejected += 1
+        if verdict.diff is not None:
+            reason = "output diverged from baseline: %s" % \
+                verdict.diff.summarize().splitlines()[0]
+        else:
+            reason = verdict.detail or verdict.status
+        if decision is not None:
+            decision.eliminate(verdict.desc, obs_decisions.VALIDATION,
+                               reason)
+        logger.warning("validation rejected %s: %s", verdict.desc, reason)
+    obs_metrics.inc("validation.alternatives", len(validation.verdicts))
+    obs_metrics.inc("validation.rejected", rejected)
+    keep = validation.keep_indices()
+    if not keep:
+        first = validation.first_divergence
+        raise ValueError(
+            "validation rejected every alternative: %s" %
+            (first.explain() if first is not None else "no verdicts"))
+    if rejected:
+        prune_alternatives(alt, keep)
+        return validation, keep
+    return validation, None
+
+
 def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
                  env,
                  configs: Sequence[Dict[str, object]],
@@ -207,6 +275,7 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
 
     stats = engine.stats if engine is not None else None
     backend = engine.backend if engine is not None else None
+    validate = engine is not None and getattr(engine, "validate", False)
 
     def stage(name):
         return stats.stage(name) if stats is not None else nullcontext()
@@ -214,6 +283,13 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
     log = obs_decisions.current()
     decision = log.begin(_wrapper_label(wrapper), arch.name) \
         if log is not None else None
+    baseline_func = sizing_wrapper = None
+    if validate:
+        # the baseline must be cloned before generation erases the body
+        baseline_func, sizing_wrapper = _clone_baseline(wrapper)
+        if baseline_func is None and decision is not None:
+            decision.note("validation skipped: wrapper not nested in a "
+                          "function")
     with stage("alternatives"), \
             obs_tracer.span("tune.alternatives", category="tune"):
         report = generate_coarsening_alternatives(wrapper, configs)
@@ -235,17 +311,27 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
         _cleanup_alternatives(wrapper)
     with stage("filters"):
         filters = run_filters(report.op, arch, backend=backend)
+    validation = validation_keep = None
+    if validate and baseline_func is not None:
+        # gate after the cheap static filters, before the timing race:
+        # a fast-but-miscompiled alternative must never win
+        with stage("validate"), \
+                obs_tracer.span("tune.validate", category="tune"):
+            validation, validation_keep = _validation_gate(
+                report.op, baseline_func, sizing_wrapper, env, decision)
     with stage("tdo"):
         outcome = timing_driven_optimization(report.op, arch, env,
                                              backend=backend)
     outcome.filters = filters
-    # map the winning (post-filter) region back to the original
-    # alternative so the winner's coarsening config can be replayed from
-    # cache without regenerating alternatives
+    outcome.validation = validation
+    # map the winning region back through the validation prune and the
+    # filter prune to the original alternative so the winner's coarsening
+    # config can be replayed from cache without regenerating alternatives
+    index = outcome.selected_index
+    if validation_keep is not None and 0 <= index < len(validation_keep):
+        index = validation_keep[index]
     survivors = filters.survivors
-    original = survivors[outcome.selected_index] \
-        if 0 <= outcome.selected_index < len(survivors) \
-        else outcome.selected_index
+    original = survivors[index] if 0 <= index < len(survivors) else index
     for info in report.alternatives:
         if info.index == original:
             outcome.selected_config = dict(info.config)

@@ -19,6 +19,7 @@ benchmark source share one cache.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from .cache import (CacheEntry, TuningCache, default_cache_path,
@@ -29,26 +30,45 @@ from .stats import EngineStats
 
 __all__ = [
     "CacheEntry", "EngineStats", "SequentialBackend", "ThreadPoolBackend",
-    "TuningCache", "TuningEngine", "WORKERS_ENV", "default_cache_path",
+    "TuningCache", "TuningEngine", "VALIDATE_ENV", "default_cache_path",
     "default_engine", "make_backend", "set_default_engine", "source_hash",
-    "tuning_key",
+    "tuning_key", "WORKERS_ENV",
 ]
+
+#: set to a truthy value ("1", "true", "yes", "on") to turn the
+#: differential validation gate on for every tuning run
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+
+def _validate_from_env() -> bool:
+    return os.environ.get(VALIDATE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 class TuningEngine:
-    """One cache + one evaluation backend + one stats accumulator."""
+    """One cache + one evaluation backend + one stats accumulator.
+
+    ``validate`` turns on the differential equivalence gate in
+    :func:`~repro.autotune.tdo.tune_wrapper`: every surviving alternative
+    is interpreted against the uncoarsened baseline and diverging ones are
+    eliminated before timing. Defaults to ``$REPRO_VALIDATE``.
+    """
 
     def __init__(self, cache: Optional[TuningCache] = None,
                  workers: Optional[int] = None,
-                 stats: Optional[EngineStats] = None):
+                 stats: Optional[EngineStats] = None,
+                 validate: Optional[bool] = None):
         self.cache = cache if cache is not None \
             else TuningCache(default_cache_path())
         self.backend = make_backend(workers)
         self.stats = stats if stats is not None else EngineStats()
+        self.validate = _validate_from_env() if validate is None \
+            else bool(validate)
 
     def __repr__(self) -> str:
-        return "TuningEngine(cache=%d entries, backend=%r)" % (
-            len(self.cache), self.backend)
+        return "TuningEngine(cache=%d entries, backend=%r%s)" % (
+            len(self.cache), self.backend,
+            ", validate" if self.validate else "")
 
 
 _default_engine: Optional[TuningEngine] = None

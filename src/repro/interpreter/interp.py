@@ -46,22 +46,41 @@ def _trunc_rem(a: int, b: int) -> int:
     return a - _trunc_div(a, b) * b
 
 
+def _unsigned_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    return a // b
+
+
+def _unsigned_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    return a % b
+
+
 _INT_BINOPS = {
     "arith.addi": lambda a, b: a + b,
     "arith.subi": lambda a, b: a - b,
     "arith.muli": lambda a, b: a * b,
     "arith.divsi": _trunc_div,
     "arith.remsi": _trunc_rem,
-    "arith.divui": lambda a, b: a // b,
-    "arith.remui": lambda a, b: a % b,
     "arith.andi": lambda a, b: a & b,
     "arith.ori": lambda a, b: a | b,
     "arith.xori": lambda a, b: a ^ b,
     "arith.shli": lambda a, b: a << b,
     "arith.shrsi": lambda a, b: a >> b,
-    "arith.shrui": lambda a, b: a >> b,
     "arith.minsi": min,
     "arith.maxsi": max,
+}
+
+#: ops that reinterpret their operands' bit pattern as unsigned; applying
+#: them to the signed Python value is wrong as soon as an operand is
+#: negative (shrui used to arithmetic-shift, divui/remui to floor-divide
+#: the signed value)
+_UINT_BINOPS = {
+    "arith.divui": _unsigned_div,
+    "arith.remui": _unsigned_rem,
+    "arith.shrui": lambda a, b: a >> b,
     "arith.minui": min,
     "arith.maxui": max,
 }
@@ -120,6 +139,14 @@ class _ExecContext:
         self.thread: Optional[int] = None
 
 
+def _id_sample(ids: Sequence[int], limit: int = 4) -> str:
+    """A compact, bounded rendering of a thread-id list for diagnostics."""
+    shown = ", ".join(str(i) for i in ids[:limit])
+    if len(ids) > limit:
+        shown += ", ... (%d total)" % len(ids)
+    return "[%s]" % shown
+
+
 def _linearize(coords: Sequence[int], extents: Sequence[int]) -> int:
     """Linear id with dimension 0 fastest-varying (CUDA's x dimension)."""
     linear = 0
@@ -136,12 +163,17 @@ class Interpreter:
     def __init__(self, module: Module, tracer: Optional[Tracer] = None,
                  alternative_selector: Optional[
                      Callable[[Operation], int]] = None,
-                 max_steps: Optional[int] = None):
+                 max_steps: Optional[int] = None,
+                 reverse_parallel: bool = False):
         self.module = module
         self.tracer = tracer or Tracer()
         self.alternative_selector = alternative_selector
         self.globals: Dict[str, MemoryBuffer] = {}
         self.max_steps = max_steps
+        #: run block iterations and thread waves in reversed id order; a
+        #: race-free kernel is insensitive to this, so differing results
+        #: between the two orders expose an order dependence (data race)
+        self.reverse_parallel = reverse_parallel
         self._steps = 0
 
     # -- public entry points ---------------------------------------------------
@@ -154,6 +186,21 @@ class Interpreter:
             raise InterpreterError(
                 "%s expects %d arguments, got %d" %
                 (name, len(block.args), len(args)))
+        env: Dict[Value, object] = dict(zip(block.args, args))
+        return self._drain(self.exec_block(block, env, _ExecContext()))
+
+    def run_block(self, block: Block, args: Sequence[object]
+                  ) -> List[object]:
+        """Run a block to completion, binding ``args`` to its arguments.
+
+        Unlike :meth:`run_func`, the block need not belong to a function
+        registered in the module — the validation harness uses this to
+        execute detached clones of a launch wrapper.
+        """
+        if len(args) != len(block.args):
+            raise InterpreterError(
+                "block expects %d arguments, got %d" %
+                (len(block.args), len(args)))
         env: Dict[Value, object] = dict(zip(block.args, args))
         return self._drain(self.exec_block(block, env, _ExecContext()))
 
@@ -275,7 +322,10 @@ class Interpreter:
                      itertools.product(*[range(e) for e in reversed(extents)])]
         coords = [tuple(ranges[d][p[d]] for d in range(n))
                   for p in positions]
-        return list(zip(coords, positions)), extents
+        space = list(zip(coords, positions))
+        if self.reverse_parallel:
+            space.reverse()
+        return space, extents
 
     def _exec_parallel(self, op: Operation, env: Dict[Value, object],
                        ctx: _ExecContext):
@@ -321,30 +371,34 @@ class Interpreter:
             thread_ctx.thread = linear
             return self.exec_block(block, thread_env, thread_ctx)
 
-        active = [thread_gen(coord, _linearize(position, extents))
-                  for coord, position in space]
+        active = [(linear, thread_gen(coord, linear))
+                  for coord, position in space
+                  for linear in (_linearize(position, extents),)]
         while active:
             suspended = []
             barriers = []
-            finished = 0
-            for gen in active:
+            finished = []
+            for linear, gen in active:
                 try:
                     token = next(gen)
                 except StopIteration:
-                    finished += 1
+                    finished.append(linear)
                     continue
-                suspended.append(gen)
+                suspended.append((linear, gen))
                 barriers.append(token)
             if suspended and finished:
                 raise ConvergenceError(
-                    "%d threads exited while %d are waiting at a barrier" %
-                    (finished, len(suspended)))
+                    "threads %s exited while %d (e.g. thread %d) are "
+                    "waiting at a barrier — barrier under thread-divergent "
+                    "control flow" %
+                    (_id_sample(finished), len(suspended), suspended[0][0]))
             if suspended:
                 first = barriers[0]
-                for token in barriers[1:]:
+                for (linear, _), token in zip(suspended[1:], barriers[1:]):
                     if token is not first:
                         raise ConvergenceError(
-                            "threads reached different barriers")
+                            "thread %d reached a different barrier than "
+                            "thread %d" % (linear, suspended[0][0]))
             active = suspended
 
     # -- calls and launches --------------------------------------------------------
@@ -391,6 +445,24 @@ def _h_int_binary(fn):
     def handler(interp, op, env, ctx):
         env[op.result()] = fn(int(env[op.operand(0)]),
                               int(env[op.operand(1)]))
+    return handler
+
+
+def _type_width(type_) -> int:
+    return type_.width if isinstance(type_, IntegerType) else 64
+
+
+def _h_uint_binary(fn):
+    def handler(interp, op, env, ctx):
+        width = _type_width(op.operand(0).type)
+        mask = (1 << width) - 1
+        result = fn(int(env[op.operand(0)]) & mask,
+                    int(env[op.operand(1)]) & mask) & mask
+        # signless ints carry a bit pattern: wrap back to the signed
+        # representation so stores and signed consumers see the same bits
+        if result >= 1 << (width - 1):
+            result -= 1 << width
+        env[op.result()] = result
     return handler
 
 
@@ -523,6 +595,8 @@ for _name in arith_d.CASTS:
     _SIMPLE[_name] = _h_cast
 for _name, _fn in _INT_BINOPS.items():
     _SIMPLE[_name] = _h_int_binary(_fn)
+for _name, _fn in _UINT_BINOPS.items():
+    _SIMPLE[_name] = _h_uint_binary(_fn)
 for _name, _fn in _FLOAT_BINOPS.items():
     _SIMPLE[_name] = _h_float_binary(_fn)
 for _name, _fn in _MATH_UNARY.items():

@@ -1,6 +1,6 @@
 """Structured TDO decision log: why each alternative lived or died.
 
-The §VI flow eliminates coarsening alternatives in four places, in order:
+The §VI flow eliminates coarsening alternatives in five places, in order:
 
 1. **generation** — the coarsening itself is illegal for the kernel
    (e.g. a factor that does not divide the block shape);
@@ -8,7 +8,10 @@ The §VI flow eliminates coarsening alternatives in four places, in order:
    target's limit;
 3. **registers** — backend register estimation says the alternative
    spills;
-4. **timing** — the alternative launches fine but loses the modeled
+4. **validation** — the opt-in differential gate (``tune --validate`` /
+   ``$REPRO_VALIDATE``) interpreted the alternative and its output
+   diverged from the uncoarsened baseline;
+5. **timing** — the alternative launches fine but loses the modeled
    timing race.
 
 A :class:`DecisionLog` records, per tuned wrapper, one
@@ -30,9 +33,10 @@ from typing import Dict, Iterator, List, Optional
 GENERATION = "generation"
 SHARED_MEMORY = "shared-memory"
 REGISTERS = "registers"
+VALIDATION = "validation"
 TIMING = "timing"
 
-STAGES = (GENERATION, SHARED_MEMORY, REGISTERS, TIMING)
+STAGES = (GENERATION, SHARED_MEMORY, REGISTERS, VALIDATION, TIMING)
 
 
 @dataclass
@@ -74,6 +78,12 @@ class TuneDecision:
     wrapper: str = ""
     arch: str = ""
     alternatives: List[AlternativeDecision] = field(default_factory=list)
+    #: free-form wrapper-level annotations (lint findings, validation
+    #: caveats such as "baseline not executable")
+    notes: List[str] = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
 
     def add(self, desc: str, config: Optional[Dict[str, object]] = None
             ) -> AlternativeDecision:
@@ -119,12 +129,15 @@ class TuneDecision:
 
     def as_dict(self) -> Dict[str, object]:
         return {"wrapper": self.wrapper, "arch": self.arch,
-                "alternatives": [d.as_dict() for d in self.alternatives]}
+                "alternatives": [d.as_dict() for d in self.alternatives],
+                "notes": list(self.notes)}
 
     def explain(self) -> str:
         header = "tuning decision for %s on %s" % (
             self.wrapper or "<kernel>", self.arch or "<arch>")
         lines = [header]
+        for note in self.notes:
+            lines.append("  note: %s" % note)
         winner = self.winner
         if winner is not None:
             lines.append("  winner: %s%s" % (

@@ -19,10 +19,11 @@ class Occupancy:
     active_threads: int
     occupancy: float
     limiter: str        # "threads", "registers", "shared", "blocks", "none"
+    warp_size: int = 32
 
     @property
     def active_warps(self) -> int:
-        return self.active_threads  # in thread units; warps = /warp_size
+        return self.active_threads // self.warp_size
 
 
 def compute_occupancy(arch: GPUArchitecture, threads_per_block: int,
@@ -31,39 +32,39 @@ def compute_occupancy(arch: GPUArchitecture, threads_per_block: int,
     """CUDA-occupancy-calculator-style resource fitting."""
     if threads_per_block <= 0:
         raise ValueError("threads_per_block must be positive")
+    warp = arch.warp_size
     if threads_per_block > arch.max_threads_per_block:
-        return Occupancy(0, 0, 0.0, "threads")
+        return Occupancy(0, 0, 0.0, "threads", warp)
 
     # warp-granular thread allocation
-    warp = arch.warp_size
     warps_per_block = -(-threads_per_block // warp)
     alloc_threads = warps_per_block * warp
 
+    # per-resource block caps; resources the kernel does not consume get no
+    # entry, so they can never be named as the limiter
     limits = {}
     limits["threads"] = arch.max_threads_per_sm // alloc_threads
     limits["blocks"] = arch.max_blocks_per_sm
     regs_per_block = registers_per_thread * alloc_threads
-    limits["registers"] = (arch.registers_per_sm // regs_per_block
-                           if regs_per_block > 0 else arch.max_blocks_per_sm)
+    if regs_per_block > 0:
+        limits["registers"] = arch.registers_per_sm // regs_per_block
     if shared_per_block > 0:
         if shared_per_block > arch.shared_mem_per_block:
-            return Occupancy(0, 0, 0.0, "shared")
+            return Occupancy(0, 0, 0.0, "shared", warp)
         limits["shared"] = arch.shared_mem_per_sm // shared_per_block
-    else:
-        limits["shared"] = arch.max_blocks_per_sm
 
     blocks = min(limits.values())
+    limiter = min((k for k, v in limits.items() if v == blocks),
+                  key=_PRIORITY.get)
     if blocks <= 0:
-        limiter = min(limits, key=limits.get)
-        return Occupancy(0, 0, 0.0, limiter)
-    limiter = min(limits, key=lambda k: (limits[k], _PRIORITY[k]))
-    if blocks == arch.max_blocks_per_sm and limiter != "blocks":
-        limiter = "blocks" if limits["blocks"] == blocks else limiter
+        return Occupancy(0, 0, 0.0, limiter, warp)
     active = blocks * alloc_threads
     occupancy = min(1.0, active / arch.max_threads_per_sm)
     if occupancy >= 1.0:
         limiter = "none"
-    return Occupancy(blocks, active, occupancy, limiter)
+    return Occupancy(blocks, active, occupancy, limiter, warp)
 
 
+#: tie-break between resources hitting the same block cap: report the one a
+#: tuner can most directly act on
 _PRIORITY = {"threads": 0, "registers": 1, "shared": 2, "blocks": 3}

@@ -1,0 +1,239 @@
+"""Static barrier-legality lint over ``polygeist.gpu_wrapper`` IR.
+
+Three rules, all built on :mod:`repro.analysis.uniformity`:
+
+* ``barrier-divergent`` — a barrier sits under control flow whose shape
+  depends on the *thread* induction variables. All threads of a block must
+  reach every ``__syncthreads`` together; a thread-divergent barrier is
+  undefined behaviour on real GPUs (and the interpreter traps it with a
+  :class:`~repro.interpreter.ConvergenceError`). Severity ``error`` when
+  the dependence is arithmetic (definite), ``warning`` when it flows only
+  through memory loads (possible).
+* ``barrier-block-dependent`` — a barrier sits under control flow whose
+  shape depends on the *block* induction variables: the §V-C condition
+  that makes block coarsening illegal (the barrier would need duplication,
+  Fig. 10 right). Severity ``note`` — the program is correct, but the
+  tuner's block-coarsening configs will all be rejected. This rule is an
+  independent re-derivation of what
+  :func:`repro.transforms.unroll_interleave.check_unroll_legality`
+  decides; tests cross-check the two on the whole benchsuite.
+* ``shared-write-race`` — between two barriers, every thread of the block
+  provably stores to the *same* shared-memory location while the stored
+  value differs per thread: a write-write race. Severity ``warning``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..analysis.uniformity import is_uniform_in
+from ..dialects import polygeist, scf
+from ..ir import MemRefType, Module, Operation, Value
+
+#: severities, strongest first
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+BARRIER_DIVERGENT = "barrier-divergent"
+BARRIER_BLOCK_DEPENDENT = "barrier-block-dependent"
+SHARED_WRITE_RACE = "shared-write-race"
+
+
+@dataclass
+class LintFinding:
+    rule: str
+    severity: str
+    message: str
+    op: Optional[Operation] = None
+
+    def __str__(self) -> str:
+        return "%s [%s]: %s" % (self.severity, self.rule, self.message)
+
+
+@dataclass
+class LintReport:
+    wrapper: str = ""
+    findings: List[LintFinding] = field(default_factory=list)
+
+    def by_rule(self, rule: str) -> List[LintFinding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def summary(self) -> str:
+        if not self.findings:
+            return "%s: clean" % (self.wrapper or "<wrapper>")
+        lines = ["%s:" % (self.wrapper or "<wrapper>")]
+        lines.extend("  %s" % f for f in self.findings)
+        return "\n".join(lines)
+
+
+def _barriers_under(op: Operation) -> List[Operation]:
+    found: List[Operation] = []
+    op.walk_preorder(lambda o: found.append(o)
+                     if o.name == polygeist.BARRIER else None,
+                     include_self=False)
+    return found
+
+
+def _shape_values(op: Operation) -> List[Value]:
+    """The values controlling whether/how often ``op``'s body executes."""
+    if op.name == scf.FOR:
+        return list(op.operands[:3])
+    if op.name == scf.IF:
+        return [op.operand(0)]
+    if op.name in (scf.PARALLEL, scf.WHILE):
+        return list(op.operands)
+    return []
+
+
+def _divergence_kind(values: Sequence[Value], ivs: Set[Value]
+                     ) -> Optional[str]:
+    """``ERROR`` for definite (arithmetic) iv-dependence, ``WARNING`` for
+    possible dependence through loads, None when provably uniform."""
+    worst = None
+    for value in values:
+        if not is_uniform_in(value, ivs, loads_are_dependent=False):
+            return ERROR
+        if not is_uniform_in(value, ivs, loads_are_dependent=True):
+            worst = WARNING
+    return worst
+
+
+def _gating_path(barrier: Operation, stop: Operation) -> List[Operation]:
+    """Control-flow ancestors of ``barrier`` strictly below ``stop``."""
+    path: List[Operation] = []
+    ancestor = barrier.parent_op
+    while ancestor is not None and ancestor is not stop:
+        path.append(ancestor)
+        ancestor = ancestor.parent_op
+    return path
+
+
+def _lint_barrier_divergence(thread_loop: Operation,
+                             findings: List[LintFinding]) -> None:
+    ivs = set(thread_loop.body_block().args)
+    for barrier in _barriers_under(thread_loop):
+        for ancestor in _gating_path(barrier, thread_loop):
+            if ancestor.name == scf.WHILE:
+                findings.append(LintFinding(
+                    BARRIER_DIVERGENT, WARNING,
+                    "barrier inside scf.while: convergence cannot be "
+                    "proven", barrier))
+                continue
+            kind = _divergence_kind(_shape_values(ancestor), ivs)
+            if kind == ERROR:
+                findings.append(LintFinding(
+                    BARRIER_DIVERGENT, ERROR,
+                    "barrier under %s whose shape depends on the thread "
+                    "index: threads will not all reach it (undefined "
+                    "behaviour)" % ancestor.name, barrier))
+            elif kind == WARNING:
+                findings.append(LintFinding(
+                    BARRIER_DIVERGENT, WARNING,
+                    "barrier under %s whose shape may depend on the "
+                    "thread index through memory" % ancestor.name,
+                    barrier))
+
+
+def _lint_block_dependence(block_loop: Operation,
+                           findings: List[LintFinding]) -> None:
+    ivs = set(block_loop.body_block().args)
+    for barrier in _barriers_under(block_loop):
+        for ancestor in _gating_path(barrier, block_loop):
+            if ancestor.name == scf.WHILE:
+                findings.append(LintFinding(
+                    BARRIER_BLOCK_DEPENDENT, NOTE,
+                    "barrier inside scf.while: block coarsening cannot "
+                    "jam it (§V-C)", barrier))
+                continue
+            if _divergence_kind(_shape_values(ancestor), ivs) is not None:
+                findings.append(LintFinding(
+                    BARRIER_BLOCK_DEPENDENT, NOTE,
+                    "barrier under %s whose shape depends on the block "
+                    "index: block coarsening would have to duplicate it "
+                    "and is illegal (§V-C)" % ancestor.name, barrier))
+
+
+def _shared_buffers(block_loop: Operation) -> Set[Value]:
+    shared: Set[Value] = set()
+
+    def visit(op: Operation) -> None:
+        if op.name in ("memref.alloca", "memref.alloc") and op.results:
+            type_ = op.result().type
+            if isinstance(type_, MemRefType) and \
+                    type_.memory_space == "shared":
+                shared.add(op.result())
+    block_loop.walk_preorder(visit, include_self=False)
+    return shared
+
+
+def _lint_shared_races(block_loop: Operation, thread_loop: Operation,
+                       findings: List[LintFinding]) -> None:
+    shared = _shared_buffers(block_loop)
+    if not shared:
+        return
+    ivs = set(thread_loop.body_block().args)
+
+    def uniform(value: Value) -> bool:
+        return is_uniform_in(value, ivs, loads_are_dependent=False)
+
+    for store in thread_loop.ops_matching("memref.store"):
+        if store.operand(1) not in shared:
+            continue
+        # every thread executes this store (no thread-dependent guard)...
+        if any(not all(uniform(v) for v in _shape_values(a))
+               for a in _gating_path(store, thread_loop)):
+            continue
+        # ...at the same address...
+        if not all(uniform(v) for v in store.operands[2:]):
+            continue
+        # ...with (possibly) different values: write-write race. A
+        # uniform stored value makes the race benign.
+        if uniform(store.operand(0)):
+            continue
+        findings.append(LintFinding(
+            SHARED_WRITE_RACE, WARNING,
+            "all threads store a thread-dependent value to the same "
+            "shared-memory location without an intervening guard "
+            "(write-write race)", store))
+
+
+def lint_wrapper(wrapper: Operation, label: str = "") -> LintReport:
+    """Run every lint rule over one ``polygeist.gpu_wrapper``."""
+    from ..transforms.coarsen import (CoarsenError, block_parallels,
+                                      thread_parallel)
+    report = LintReport(wrapper=label)
+    for block_loop in block_parallels(wrapper, include_epilogues=False):
+        _lint_block_dependence(block_loop, report.findings)
+        try:
+            thread_loop = thread_parallel(block_loop)
+        except CoarsenError:
+            continue
+        _lint_barrier_divergence(thread_loop, report.findings)
+        _lint_shared_races(block_loop, thread_loop, report.findings)
+    return report
+
+
+def lint_module(module: Module) -> List[LintReport]:
+    """Lint every gpu_wrapper in a module, labelled by enclosing func."""
+    reports: List[LintReport] = []
+    for func_op in module.body.ops:
+        if func_op.name != "func.func":
+            continue
+        for wrapper in polygeist.find_gpu_wrappers(func_op):
+            reports.append(lint_wrapper(
+                wrapper, label=str(func_op.attr("sym_name") or "")))
+    return reports
+
+
+def block_coarsening_illegal(wrapper: Operation) -> bool:
+    """Lint's verdict on §V-C: does any barrier make block coarsening
+    illegal for this wrapper? (Cross-checked in tests against
+    ``check_unroll_legality`` on the block loops.)"""
+    report = lint_wrapper(wrapper)
+    return bool(report.by_rule(BARRIER_BLOCK_DEPENDENT))

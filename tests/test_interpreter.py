@@ -393,3 +393,121 @@ class TestMemoryBuffer:
         buf = MemoryBuffer((4,), F32, data=data)
         data[0] = 99
         assert buf.array[0] == 1.0
+
+
+class TestUnsignedOps:
+    """Unsigned arithmetic must use width-masked bit patterns, not
+    Python's ideal signed integers. Found by the differential validation
+    harness while building the equivalence gate (the signed fallback made
+    shrui/divui on negative values diverge from GPU semantics)."""
+
+    def run_int_op(self, name, lhs, rhs, type_=I32):
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((1,), type_),), ["out"])
+        x = arith.constant(b, lhs, type_)
+        y = arith.constant(b, rhs, type_)
+        v = arith.binary(b, name, x, y)
+        c0 = arith.index_constant(b, 0)
+        memref.store(b, v, f.body_block().arg(0), [c0])
+        func.return_(b)
+        verify_module(module)
+        out = MemoryBuffer((1,), type_)
+        Interpreter(module).run_func("main", [out])
+        return int(out.array[0])
+
+    def test_shrui_is_logical_shift(self):
+        # -8 as u32 is 0xFFFFFFF8; a logical shift brings in zeros
+        assert self.run_int_op("arith.shrui", -8, 1) == 0x7FFFFFFC
+        # the signed interpretation would keep the sign: make sure not
+        assert self.run_int_op("arith.shrsi", -8, 1) == -4
+
+    def test_divui_remui_use_unsigned_operands(self):
+        assert self.run_int_op("arith.divui", -8, 3) == (2 ** 32 - 8) // 3
+        assert self.run_int_op("arith.remui", -8, 3) == (2 ** 32 - 8) % 3
+        assert self.run_int_op("arith.divsi", -8, 3) == -2
+
+    def test_minui_maxui_compare_unsigned(self):
+        # 0xFFFFFFFF (=-1 signed) is the *largest* u32, not the smallest
+        assert self.run_int_op("arith.minui", -1, 1) == 1
+        assert self.run_int_op("arith.maxui", -1, 1) == -1
+
+    def test_unsigned_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            self.run_int_op("arith.divui", 5, 0)
+        with pytest.raises(InterpreterError):
+            self.run_int_op("arith.remui", 5, 0)
+
+
+class TestDivergenceDiagnostics:
+    """ConvergenceError messages must name the offending threads so the
+    validation harness can report actionable barrier-legality failures."""
+
+    def test_thread_divergent_barrier_names_threads(self):
+        def body(module, bb, tb, bx, tx, out, consts):
+            c4 = arith.index_constant(tb, 4)
+            cond = arith.cmpi(tb, "lt", tx, c4)
+            if_op = scf.if_(tb, cond, [])
+            then_b = Builder(scf.if_then_block(if_op))
+            polygeist.barrier(then_b, [tx])
+            scf.yield_(then_b)
+            scf.yield_(Builder(scf.if_else_block(if_op)))
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        with pytest.raises(ConvergenceError,
+                           match="thread-divergent control flow"):
+            run_module(module, "main", [out])
+
+    def test_different_barriers_reported(self):
+        """Half the threads reach one barrier, half another: the wave
+        check must flag the mismatched identity, not hang."""
+        def body(module, bb, tb, bx, tx, out, consts):
+            c4 = arith.index_constant(tb, 4)
+            cond = arith.cmpi(tb, "lt", tx, c4)
+            if_op = scf.if_(tb, cond, [])
+            then_b = Builder(scf.if_then_block(if_op))
+            polygeist.barrier(then_b, [tx])
+            scf.yield_(then_b)
+            else_b = Builder(scf.if_else_block(if_op))
+            polygeist.barrier(else_b, [tx])
+            scf.yield_(else_b)
+
+        module = build_gpu_kernel(body)
+        out = MemoryBuffer((16,), F32)
+        with pytest.raises(ConvergenceError, match="different barrier"):
+            run_module(module, "main", [out])
+
+
+class TestReverseParallel:
+    """reverse_parallel reorders blocks and thread waves; race-free
+    kernels must be insensitive, racy ones visibly differ (the order
+    probe behind the differential harness's race detection)."""
+
+    def test_race_free_kernel_is_order_insensitive(self):
+        def body(module, bb, tb, bx, tx, out, consts):
+            nt = consts["nt"]
+            gid = arith.addi(tb, arith.muli(tb, bx, nt), tx)
+            value = arith.sitofp(tb, arith.index_cast(tb, gid, I32), F32)
+            memref.store(tb, value, out, [gid])
+
+        module = build_gpu_kernel(body)
+        forward = MemoryBuffer((16,), F32)
+        Interpreter(module).run_func("main", [forward])
+        reverse = MemoryBuffer((16,), F32)
+        Interpreter(module, reverse_parallel=True).run_func(
+            "main", [reverse])
+        np.testing.assert_array_equal(forward.array, reverse.array)
+
+    def test_write_write_race_differs_across_orders(self):
+        def body(module, bb, tb, bx, tx, out, consts):
+            c0 = arith.index_constant(tb, 0)
+            value = arith.sitofp(tb, arith.index_cast(tb, tx, I32), F32)
+            memref.store(tb, value, out, [c0])
+
+        module = build_gpu_kernel(body)
+        forward = MemoryBuffer((16,), F32)
+        Interpreter(module).run_func("main", [forward])
+        reverse = MemoryBuffer((16,), F32)
+        Interpreter(module, reverse_parallel=True).run_func(
+            "main", [reverse])
+        assert forward.array[0] != reverse.array[0]

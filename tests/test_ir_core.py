@@ -198,6 +198,84 @@ class TestVerifier:
         with pytest.raises(VerificationError):
             verify_module(module)
 
+    def test_func_missing_trailing_return_rejected(self):
+        # regression: a truncated func body used to verify clean
+        module, f, builder = make_func()
+        arith.index_constant(builder, 1)
+        with pytest.raises(VerificationError, match="func.return"):
+            verify_module(module)
+
+    def test_parallel_missing_trailing_yield_rejected(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.parallel(builder, [c0], [c1], [c1])
+        # body left without its scf.yield
+        func.return_(builder)
+        with pytest.raises(VerificationError, match="scf.yield"):
+            verify_module(module)
+
+    def test_for_truncated_body_rejected(self):
+        module, f, builder = make_func()
+        c0 = arith.index_constant(builder, 0)
+        c1 = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, c0, c1, c1)
+        inner = Builder(loop.body_block())
+        scf.yield_(inner)
+        func.return_(builder)
+        verify_module(module)
+        loop.body_block().ops[-1].erase()  # truncate the region
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_terminator_mid_block_still_rejected(self):
+        module, f, builder = make_func()
+        func.return_(builder)
+        arith.index_constant(builder, 1)
+        func.return_(builder)
+        with pytest.raises(VerificationError, match="middle"):
+            verify_module(module)
+
+    def test_gpu_wrapper_needs_no_terminator(self):
+        from repro.dialects import polygeist
+        module, f, builder = make_func()
+        wrapper = polygeist.gpu_wrapper(builder)
+        Builder(wrapper.body_block()).create("test.op", [], [])
+        func.return_(builder)
+        verify_module(module)
+
+
+class TestVerifierPerformance:
+    def test_largest_benchsuite_module_verifies_subsecond(self):
+        # guards the incremental dominance walk: the old per-op visible-set
+        # rebuild made whole-module verification quadratic
+        import time
+
+        from repro.benchsuite import BENCHMARKS
+        from repro.frontend import ModuleGenerator, parse_translation_unit
+
+        largest, largest_ops = None, 0
+        for bench in BENCHMARKS.values():
+            generator = ModuleGenerator(parse_translation_unit(bench.source))
+            seen = set()
+            for kernel, grid, block in bench.iter_launches(
+                    bench.verify_size):
+                key = (kernel, len(grid), tuple(block))
+                if key not in seen:
+                    seen.add(key)
+                    generator.get_launch_wrapper(kernel, len(grid),
+                                                 tuple(block))
+            counter = []
+            generator.module.op.walk_preorder(
+                lambda _op: counter.append(None))
+            count = len(counter)
+            if count > largest_ops:
+                largest, largest_ops = generator.module, count
+        assert largest_ops > 100
+        start = time.monotonic()
+        verify_module(largest)
+        assert time.monotonic() - start < 1.0
+
 
 class TestBuilder:
     def test_sequential_insert_order(self):

@@ -138,3 +138,52 @@ def test_property_cleanup_equivalence(source):
     out2 = MemoryBuffer((N,), F32)
     run_module(generator.module, name, [GRID, src2, out2])
     np.testing.assert_array_equal(out1.array, out2.array)
+
+
+# -- benchsuite-wide differential validation ----------------------------------
+
+from repro.benchsuite import BENCHMARKS, get_benchmark
+from repro.validate import validate_source
+from repro.validate.differential import BENCH_CONFIGS
+
+#: kernels whose baseline is known to execute and be order-insensitive
+#: under seeded inputs; a regression that knocks one back to "skipped"
+#: (e.g. a broken scalar ladder or race probe) must fail loudly
+CONCLUSIVE_KERNELS = {
+    "bfs": {"bfs_kernel2"},
+    "cfd": {"cuda_compute_flux", "cuda_time_step"},
+    "gaussian": {"Fan1", "Fan2"},
+    "hotspot": {"calculate_temp"},
+    "hotspot3D": {"hotspotOpt1"},
+    "myocyte": {"solver_kernel"},
+    "nn": {"euclid"},
+    "particlefilter": {"likelihood_kernel", "sum_kernel",
+                       "normalize_kernel", "find_index_kernel"},
+    "srad_v1": {"extract", "reduce", "srad", "srad2"},
+    "streamcluster": {"compute_cost"},
+}
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchsuite_differential_equivalence(name):
+    """Every coarsening alternative of every benchsuite kernel must match
+    the untransformed baseline under {thread, block} x {2, 4} (exact for
+    ints, tolerant for floats); inconclusive baselines are skipped but
+    the kernels in CONCLUSIVE_KERNELS must stay conclusive."""
+    bench = get_benchmark(name)
+    seen = set()
+    conclusive = set()
+    for kernel, grid, block in bench.iter_launches(bench.verify_size):
+        key = (kernel, len(grid), tuple(block))
+        if key in seen:
+            continue
+        seen.add(key)
+        report = validate_source(bench.source, kernel, list(grid),
+                                 tuple(block),
+                                 configs=list(BENCH_CONFIGS))
+        assert report.ok, "%s/%s:\n%s" % (name, kernel, report.summary())
+        if not report.baseline_note:
+            conclusive.add(kernel)
+    missing = CONCLUSIVE_KERNELS.get(name, set()) - conclusive
+    assert not missing, \
+        "kernels regressed to inconclusive validation: %s" % sorted(missing)

@@ -206,3 +206,84 @@ class TestOccupancy:
             if previous is not None:
                 assert occ.blocks_per_sm <= previous
             previous = occ.blocks_per_sm
+
+    def test_active_warps_in_warp_units(self):
+        # regression: active_warps used to return thread units
+        occ = compute_occupancy(A100, 256, 128, 0)
+        assert occ.blocks_per_sm == 2
+        assert occ.active_threads == 512
+        assert occ.active_warps == 512 // A100.warp_size
+
+    def test_active_warps_uses_arch_warp_size(self):
+        mi210 = next(a for a in ALL_ARCHS if a.warp_size == 64)
+        occ = compute_occupancy(mi210, 256, 128, 0)
+        assert occ.warp_size == 64
+        assert occ.active_warps == occ.active_threads // 64
+
+    def test_limiter_not_blamed_on_unused_resource(self):
+        # regression: blocks == max_blocks_per_sm used to tie with the
+        # fallback "shared" entry even with zero shared memory requested
+        occ = compute_occupancy(A100, 16, 0, 0)
+        assert occ.blocks_per_sm == A100.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+
+    def test_limiter_tie_prefers_actionable_resource(self):
+        # registers tie with the block-slot cap at 32 blocks; the old
+        # tie-break override relabeled this "blocks", hiding the register
+        # pressure a tuner could actually act on
+        occ = compute_occupancy(A100, 16, 64, 0)
+        assert occ.blocks_per_sm == 32
+        assert occ.limiter == "registers"
+
+    @staticmethod
+    def _reference_occupancy(arch, threads, regs, shared):
+        """Brute-force: largest block count satisfying every constraint."""
+        if threads > arch.max_threads_per_block or \
+                shared > arch.shared_mem_per_block:
+            return 0
+        alloc = -(-threads // arch.warp_size) * arch.warp_size
+        best = 0
+        for b in range(arch.max_blocks_per_sm, 0, -1):
+            if b * alloc > arch.max_threads_per_sm:
+                continue
+            if b * regs * alloc > arch.registers_per_sm:
+                continue
+            if b * shared > arch.shared_mem_per_sm:
+                continue
+            best = b
+            break
+        return best
+
+    @given(st.integers(1, 1024), st.integers(0, 300),
+           st.integers(0, 64 * 1024))
+    @settings(max_examples=120, deadline=None)
+    def test_property_matches_brute_force(self, threads, regs, shared):
+        for arch in ALL_ARCHS:
+            occ = compute_occupancy(arch, threads, regs, shared)
+            expect = self._reference_occupancy(arch, threads, regs, shared)
+            assert occ.blocks_per_sm == expect
+            alloc = -(-threads // arch.warp_size) * arch.warp_size
+            assert occ.active_threads == expect * alloc
+            assert occ.active_warps == expect * (alloc // arch.warp_size)
+
+    @given(st.integers(1, 1024), st.integers(0, 300),
+           st.integers(0, 48 * 1024))
+    @settings(max_examples=120, deadline=None)
+    def test_property_limiter_is_binding(self, threads, regs, shared):
+        for arch in ALL_ARCHS:
+            occ = compute_occupancy(arch, threads, regs, shared)
+            if occ.limiter == "none" or not occ.blocks_per_sm:
+                continue
+            alloc = -(-threads // arch.warp_size) * arch.warp_size
+            caps = {
+                "threads": arch.max_threads_per_sm // alloc,
+                "blocks": arch.max_blocks_per_sm,
+            }
+            if regs:
+                caps["registers"] = arch.registers_per_sm // (regs * alloc)
+            if shared:
+                caps["shared"] = arch.shared_mem_per_sm // shared
+            # the named limiter's own cap is the binding one, and the
+            # kernel actually consumes that resource
+            assert occ.limiter in caps
+            assert caps[occ.limiter] == occ.blocks_per_sm

@@ -1,0 +1,100 @@
+"""Fuzzing the merge-vs-duplicate decisions against interpreter semantics.
+
+Hypothesis generates kernels with adversarial barrier placements (see
+:mod:`repro.validate.fuzz`) and asserts that whenever
+``unroll_and_interleave`` *accepts* a coarsening, the result is
+bit-identical to the baseline — and that rejections only ever happen via
+the legality check, never as silent miscompiles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.validate.fuzz import (FUZZ_CONFIGS, HAVE_HYPOTHESIS,
+                                 check_transform_agreement, run_fuzz_kernel)
+
+if not HAVE_HYPOTHESIS:  # pragma: no cover - hypothesis ships with the repo
+    pytest.skip("hypothesis unavailable", allow_module_level=True)
+
+from repro.validate.fuzz import fuzz_kernels
+
+
+@given(fuzz_kernels())
+@settings(max_examples=20, deadline=None)
+def test_fuzz_transform_agreement(source):
+    outcomes = check_transform_agreement(source)
+    assert all(o.status in ("equal", "rejected", "ub")
+               for o in outcomes.values())
+
+
+def test_block_dependent_barrier_rejected_for_block_coarsening():
+    """The §V-C shape: a barrier under a blockIdx-dependent guard. Block
+    coarsening must refuse (duplicating the barrier would deadlock real
+    GPUs); thread coarsening merges it and must stay exact."""
+    source = """
+__global__ void k(float *in, float *out, int n) {
+    __shared__ float tile[8];
+    int t = threadIdx.x;
+    int b = blockIdx.x;
+    int g = b * blockDim.x + t;
+    float v = in[g];
+    if (b < 2) {
+        tile[t] = v * 2.0f;
+        __syncthreads();
+        v = v + tile[(t + 3) % 8];
+    }
+    out[g] = v;
+}
+"""
+    outcomes = check_transform_agreement(source)
+    assert outcomes["thread_total=2"].status == "equal"
+    assert outcomes["block_total=2"].status == "rejected"
+    assert outcomes["block_total=2, thread_total=2"].status == "rejected"
+
+
+def test_barrier_in_uniform_loop_jams_exactly():
+    """The Fig. 8 path: a barrier inside a uniform-bound for must be
+    merged (not duplicated) and stay bit-exact under every config."""
+    source = """
+__global__ void k(float *in, float *out, int n) {
+    __shared__ float tile[8];
+    int t = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + t;
+    float v = in[g];
+    for (int j = 0; j < 3; j++) {
+        __syncthreads();
+        tile[t] = v + (float)j;
+        __syncthreads();
+        v = v + tile[(t + 1) % 8];
+    }
+    out[g] = v;
+}
+"""
+    outcomes = check_transform_agreement(source)
+    assert all(o.status in ("equal", "rejected")
+               for o in outcomes.values())
+    assert outcomes["thread_total=2"].status == "equal"
+
+
+def test_run_fuzz_kernel_baseline_deterministic():
+    source = """
+__global__ void k(float *in, float *out, int n) {
+    int t = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + t;
+    out[g] = in[g] * 2.0f + (float)t;
+}
+"""
+    data = np.random.default_rng(3).random(32, dtype=np.float32)
+    first = run_fuzz_kernel(source, None, data)
+    second = run_fuzz_kernel(source, None, data)
+    np.testing.assert_array_equal(first, second)
+    coarsened = run_fuzz_kernel(source, {"thread_total": 2}, data)
+    np.testing.assert_array_equal(first, coarsened)
+
+
+def test_fuzz_configs_cover_both_styles():
+    kinds = set()
+    for config in FUZZ_CONFIGS:
+        kinds.update(config)
+    assert kinds == {"thread_total", "block_total"}
