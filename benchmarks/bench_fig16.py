@@ -9,7 +9,8 @@ the hipify+clang baseline.
 
 from conftest import tuning_configs
 
-from repro.benchsuite.experiments import fig16_data, fig16_geomeans, geomean
+from repro.benchsuite.experiments import fig16_geomeans, geomean
+from repro.benchsuite.sweeps import sharded_fig16_data
 from repro.targets import A100, A4000, MI210, RX6800
 
 TIERS = ("clang", "polygeist-noopt", "polygeist")
@@ -20,8 +21,10 @@ def test_fig16_composite_all_gpus(benchmark, report):
     archs = [A4000, A100, RX6800, MI210]
 
     def run():
-        return fig16_data(archs=archs, tiers=TIERS,
-                          configs=tuning_configs())
+        # sharded over $REPRO_SWEEP_WORKERS processes; identical output
+        # to the serial fig16_data (and falls back to it on 1 CPU)
+        return sharded_fig16_data(archs=archs, tiers=TIERS,
+                                  configs=tuning_configs())
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
 

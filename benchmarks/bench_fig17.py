@@ -10,7 +10,8 @@ the RX6800's stronger FP64.
 
 from conftest import tuning_configs
 
-from repro.benchsuite.experiments import fig17_data, geomean
+from repro.benchsuite.experiments import geomean
+from repro.benchsuite.sweeps import sharded_fig17_data
 from repro.benchsuite import get_benchmark
 
 
@@ -18,7 +19,8 @@ def test_fig17_cross_vendor(benchmark, report):
     report.name = "fig17"
 
     def run():
-        return fig17_data(configs=tuning_configs())
+        # one job per (benchmark, column), sharded over worker processes
+        return sharded_fig17_data(configs=tuning_configs())
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     columns = ["A4000 (clang)", "A4000 (Polygeist-GPU)",

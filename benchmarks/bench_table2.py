@@ -10,7 +10,7 @@ thread coarsening (1,4) keeps global traffic but REDUCES shared-memory
 read requests (copies share uniform tile reads).
 """
 
-from repro.benchsuite.experiments import table2_profile
+from repro.benchsuite.sweeps import sharded_table2_profile
 from repro.targets import A100
 
 
@@ -18,7 +18,8 @@ def test_table2_lud_profiling(benchmark, report):
     report.name = "table2"
 
     def profile():
-        return table2_profile(arch=A100, size=64)
+        # one job per (block, thread) config, sharded over processes
+        return sharded_table2_profile(arch=A100, size=64)
 
     rows = benchmark.pedantic(profile, rounds=1, iterations=1)
 

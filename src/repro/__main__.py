@@ -16,7 +16,11 @@ Commands mirror the Polygeist-GPU driver workflow:
 * ``cache``     — inspect or clear the on-disk tuning cache
   (``$REPRO_TUNING_CACHE``);
 * ``trace``     — summarize a recorded Chrome trace-event JSON file
-  (produced by ``tune --trace``).
+  (produced by ``tune --trace``);
+* ``sweep``     — run one figure's evaluation matrix (fig13/fig16/fig17/
+  table2) sharded over crash-isolated worker processes, with per-job
+  timeout, bounded retry, and ``--resume`` from a previous ``--json``
+  output.
 
 ``tune --trace out.json`` records every compilation stage — parse, each
 cleanup pass, each pruning filter, each modeled alternative — as a Chrome
@@ -300,6 +304,78 @@ def cmd_hipify(args) -> int:
     return 0 if result.clean else 2
 
 
+def cmd_sweep(args) -> int:
+    import os
+
+    from .autotune import paper_sweep_configs
+    from .benchsuite.sweeps import (load_resume_values, run_figure_sweep,
+                                    write_sweep_json)
+
+    benchmarks = [b.strip() for b in (args.benchmarks or "").split(",")
+                  if b.strip()] or None
+    arch_names = [a.strip() for a in (args.arch or "").split(",")
+                  if a.strip()]
+    configs = paper_sweep_configs(max_product=args.max_factor) \
+        if args.max_factor is not None else None
+    if args.figure == "fig13":
+        plan_kwargs = dict(benchmarks=benchmarks, configs=configs,
+                           include_hecbench=args.include_hecbench)
+        if arch_names:
+            plan_kwargs["arch"] = arch_names[0]
+    elif args.figure == "fig16":
+        plan_kwargs = dict(benchmarks=benchmarks, configs=configs)
+        if arch_names:
+            plan_kwargs["archs"] = arch_names
+    elif args.figure == "fig17":
+        plan_kwargs = dict(benchmarks=benchmarks, configs=configs)
+        if arch_names:
+            print("fig17 columns fix their architectures; --arch ignored",
+                  file=sys.stderr)
+    else:  # table2
+        plan_kwargs = dict(size=args.size)
+        if arch_names:
+            plan_kwargs["arch"] = arch_names[0]
+        if benchmarks:
+            print("table2 has no benchmark axis; --benchmarks ignored",
+                  file=sys.stderr)
+
+    resume_values = None
+    if args.resume:
+        if not args.json:
+            print("--resume needs --json FILE to resume from",
+                  file=sys.stderr)
+            return 1
+        if os.path.exists(args.json):
+            try:
+                resume_values = load_resume_values(args.json, args.figure)
+            except (OSError, ValueError) as error:
+                print("cannot resume from %s: %s" % (args.json, error),
+                      file=sys.stderr)
+                return 1
+
+    outcome = run_figure_sweep(
+        args.figure, workers=args.workers, timeout=args.timeout,
+        retries=args.retries, resume_values=resume_values,
+        serial_fallback=False, **plan_kwargs)
+
+    print("sweep %s: %d job(s) run, %d resumed, %d failed in %.1fs"
+          % (args.figure, len(outcome.results), len(outcome.resumed),
+             len(outcome.failed), outcome.elapsed))
+    if outcome.retries or outcome.timeouts or outcome.degraded:
+        print("  retries=%d timeouts=%d degraded=%d" %
+              (outcome.retries, outcome.timeouts, outcome.degraded))
+    for key, error in sorted(outcome.failed.items()):
+        print("  FAILED %s: %s" % (key, error), file=sys.stderr)
+    if args.json:
+        write_sweep_json(args.json, outcome,
+                         meta={"workers": args.workers,
+                               "timeout": args.timeout,
+                               "benchmarks": benchmarks,
+                               "max_factor": args.max_factor})
+        print("wrote %s" % args.json)
+    return 0 if outcome.data is not None else 1
+
+
 def cmd_targets(args) -> int:
     from .targets import ALL_ARCHS
 
@@ -387,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
     hip.add_argument("file")
     hip.add_argument("-o", "--output")
     hip.set_defaults(fn=cmd_hipify)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a figure's job matrix over worker processes")
+    sweep.add_argument("figure",
+                       choices=("fig13", "fig16", "fig17", "table2"))
+    sweep.add_argument("--benchmarks",
+                       help="comma-separated benchmark subset "
+                            "(default: all registered)")
+    sweep.add_argument("--arch",
+                       help="architecture name(s), comma separated: the "
+                            "arch list for fig16, a single arch for "
+                            "fig13/table2")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: "
+                            "$REPRO_SWEEP_WORKERS or the CPU count)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds; "
+                            "overdue workers are killed and the job "
+                            "retried")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry budget per job before degrading to "
+                            "in-process execution (default 2)")
+    sweep.add_argument("--max-factor", type=int, default=None,
+                       help="bound the autotuning config sweep to "
+                            "block*thread <= N (default: the paper set)")
+    sweep.add_argument("--size", type=int, default=64,
+                       help="table2 problem size (default 64)")
+    sweep.add_argument("--include-hecbench", action="store_true",
+                       help="fig13: include the HeCBench ports")
+    sweep.add_argument("--json", metavar="FILE",
+                       help="write per-job values and merged data as JSON")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip jobs already present in --json FILE")
+    sweep.set_defaults(fn=cmd_sweep)
 
     targets = sub.add_parser("targets", help="list GPU models")
     targets.set_defaults(fn=cmd_targets)

@@ -32,6 +32,19 @@ from ..transforms.coarsen import parallel_extents, thread_parallel
 MAX_TOTAL = 16
 #: assume spilling starts when the scaled register estimate crosses this
 SPILL_HEADROOM = 0.85
+#: latency-hiding parallelism is measured in 32-thread warp EQUIVALENTS,
+#: matching the simulator's convention (``simulator/model.py``): a 64-wide
+#: AMD wavefront issues per-lane, so it hides as much latency as two
+#: 32-thread warps. The absolute targets below (48/16) are in the same
+#: lane-normalized units, which keeps the deficit computation consistent
+#: across ``warp_size`` 32 and 64 — do NOT divide by ``arch.warp_size``
+#: here, or MI210/RX6800 would see half the parallelism they really have.
+LANE_WARP_WIDTH = 32.0
+
+
+def lane_warps(occupancy) -> float:
+    """Active parallelism in 32-thread warp equivalents (lane-normalized)."""
+    return occupancy.active_threads / LANE_WARP_WIDTH
 
 
 @dataclass
@@ -62,8 +75,10 @@ def choose_factors(block_parallel: Operation,
     occupancy = compute_occupancy(arch, threads_per_block,
                                   registers.registers_per_thread, shared)
 
-    # 1. how much extra per-thread parallelism do we want?
-    active_warps = occupancy.active_threads / 32.0
+    # 1. how much extra per-thread parallelism do we want? Both sides of
+    # the comparison are lane-normalized (see LANE_WARP_WIDTH), so the
+    # deficit is computed in the same units on 32- and 64-wide targets.
+    active_warps = lane_warps(occupancy)
     warps_wanted = 48.0 if stats.global_accesses >= 1 else 16.0
     deficit = warps_wanted / max(active_warps, 1.0)
     target = 1

@@ -134,7 +134,7 @@ def verify_benchmark(name: str, arch: GPUArchitecture,
     )
 
 
-def simulate_composite(name: str, arch: GPUArchitecture,
+def simulate_composite(name: str, arch,
                        tier: str = "polygeist",
                        autotune_configs: Optional[Sequence[Dict]] = None,
                        size: Optional[int] = None) -> float:
@@ -142,8 +142,13 @@ def simulate_composite(name: str, arch: GPUArchitecture,
 
     Sums analytically-modeled kernel launches (tuned per the tier) plus
     PCIe transfer time — no functional interpretation, so large problem
-    sizes are cheap.
+    sizes are cheap. ``arch`` may be a :class:`GPUArchitecture` or an
+    architecture name (resolved via ``arch_by_name``), so sweep jobs can
+    stay picklable by shipping the name.
     """
+    if isinstance(arch, str):
+        from ..targets import arch_by_name
+        arch = arch_by_name(arch)
     bench = get_benchmark(name)
     size = size or bench.model_size
     program = Program(bench.source, arch=arch, tier=tier,

@@ -180,6 +180,33 @@ def _launch_groups(bench) -> Dict[Tuple[str, Tuple[int, ...]],
     return groups
 
 
+def resolve_benchmark(name: str):
+    """Look up a benchmark by name in the Rodinia suite or the HeCBench
+    extras — the union population Fig. 13 sweeps over."""
+    if name in BENCHMARKS:
+        return BENCHMARKS[name]
+    from .hecbench import HECBENCH
+    if name in HECBENCH:
+        return HECBENCH[name]
+    raise KeyError("no benchmark named %r" % name)
+
+
+def fig13_population(benchmarks: Optional[Sequence[str]] = None,
+                     include_hecbench: bool = False) -> Dict[str, object]:
+    """The benchmark population of one Fig. 13 sweep, name -> instance."""
+    population: Dict[str, object] = {}
+    if benchmarks is not None:
+        for name in benchmarks:
+            population[name] = resolve_benchmark(name)
+        return population
+    for name in sorted(BENCHMARKS):
+        population[name] = get_benchmark(name)
+    if include_hecbench:
+        from .hecbench import HECBENCH
+        population.update(HECBENCH)
+    return population
+
+
 def fig13_data(arch: GPUArchitecture = A100,
                benchmarks: Optional[Sequence[str]] = None,
                configs: Optional[Sequence[Dict]] = None,
@@ -190,12 +217,7 @@ def fig13_data(arch: GPUArchitecture = A100,
     ``include_hecbench`` adds the HeCBench-style extras, mirroring the
     paper's wider 181-kernel population.
     """
-    population: Dict[str, object] = {}
-    for name in (benchmarks or sorted(BENCHMARKS)):
-        population[name] = get_benchmark(name)
-    if include_hecbench and benchmarks is None:
-        from .hecbench import HECBENCH
-        population.update(HECBENCH)
+    population = fig13_population(benchmarks, include_hecbench)
     sweeps: List[KernelSweep] = []
     for name in sorted(population):
         bench = population[name]
@@ -297,64 +319,77 @@ def fig15_dimension_sweep(arch: GPUArchitecture = A100,
     return results
 
 
-def table2_profile(arch: GPUArchitecture = A100, size: int = 64
-                   ) -> Dict[str, Dict[str, object]]:
-    """lud profiling counters at (1,1), (4,1), (1,4) — Table II.
+#: the three (block, thread) factor points Table II profiles
+TABLE2_CONFIGS: Tuple[Tuple[str, Dict[str, int]], ...] = (
+    ("(1, 1)", {}),
+    ("(4, 1)", {"block_total": 4}),
+    ("(1, 4)", {"thread_total": 4}),
+)
+
+
+def table2_profile_row(config: Dict[str, int],
+                       arch: GPUArchitecture = A100,
+                       size: int = 64) -> Dict[str, object]:
+    """One Table II row: lud profiling counters at one coarsening config.
 
     Counters come from trace-driven functional execution (real addresses
     through the cache model); runtimes from the analytical model at
-    ``model_size``.
+    ``model_size``. Each row is independent, which is what lets the
+    sharded sweep run them as separate jobs.
     """
-    import numpy as np
     from ..simulator import trace_kernel
     from ..transforms import coarsen_wrapper
     from .lud import make_diagonally_dominant, B
 
     bench = get_benchmark("lud")
-    rows: Dict[str, Dict[str, object]] = {}
-    for label, config in (("(1, 1)", {}),
-                          (("(4, 1)"), {"block_total": 4}),
-                          (("(1, 4)"), {"thread_total": 4})):
-        unit = parse_translation_unit(bench.source)
-        generator = ModuleGenerator(unit)
-        tiles = size // B
-        remaining = tiles - 1
-        wrapper_name = generator.get_launch_wrapper("lud_internal", 2,
-                                                    (B, B))
+    unit = parse_translation_unit(bench.source)
+    generator = ModuleGenerator(unit)
+    tiles = size // B
+    remaining = tiles - 1
+    wrapper_name = generator.get_launch_wrapper("lud_internal", 2,
+                                                (B, B))
+    run_cleanup(generator.module)
+    f = generator.module.func(wrapper_name)
+    wrapper = polygeist.find_gpu_wrappers(f)[0]
+    if config:
+        coarsen_wrapper(wrapper, **config)
         run_cleanup(generator.module)
-        f = generator.module.func(wrapper_name)
-        wrapper = polygeist.find_gpu_wrappers(f)[0]
-        if config:
-            coarsen_wrapper(wrapper, **config)
-            run_cleanup(generator.module)
-        from ..interpreter import MemoryBuffer
-        from ..ir import F32
-        matrix = MemoryBuffer((size * size,), F32,
-                              data=make_diagonally_dominant(size, 0).ravel())
-        trace = trace_kernel(generator.module, wrapper_name,
-                             [remaining, remaining, matrix, size, 0], arch)
-        # runtime from the analytical model at paper-ish scale
-        model_grid = bench.model_size // B - 1
-        unit2 = parse_translation_unit(bench.source)
-        gen2 = ModuleGenerator(unit2)
-        wname2 = gen2.get_launch_wrapper("lud_internal", 2, (B, B))
+    from ..interpreter import MemoryBuffer
+    from ..ir import F32
+    matrix = MemoryBuffer((size * size,), F32,
+                          data=make_diagonally_dominant(size, 0).ravel())
+    trace = trace_kernel(generator.module, wrapper_name,
+                         [remaining, remaining, matrix, size, 0], arch)
+    # runtime from the analytical model at paper-ish scale
+    model_grid = bench.model_size // B - 1
+    unit2 = parse_translation_unit(bench.source)
+    gen2 = ModuleGenerator(unit2)
+    wname2 = gen2.get_launch_wrapper("lud_internal", 2, (B, B))
+    run_cleanup(gen2.module)
+    f2 = gen2.module.func(wname2)
+    wrapper2 = polygeist.find_gpu_wrappers(f2)[0]
+    if config:
+        coarsen_wrapper(wrapper2, **config)
         run_cleanup(gen2.module)
-        f2 = gen2.module.func(wname2)
-        wrapper2 = polygeist.find_gpu_wrappers(f2)[0]
-        if config:
-            coarsen_wrapper(wrapper2, **config)
-            run_cleanup(gen2.module)
-        from ..simulator.model import model_wrapper_launch
-        env = dict(zip(f2.body_block().args[:2],
-                       (model_grid, model_grid)))
-        timing = model_wrapper_launch(wrapper2, arch, env)
-        metrics = trace.metrics
-        metrics.time_seconds = timing.time_seconds
-        # unit utilizations come from the analytical model (the trace only
-        # counts traffic events)
-        metrics.lsu_utilization = timing.metrics.lsu_utilization
-        metrics.fma_utilization = timing.metrics.fma_utilization
-        rows[label] = metrics.table_row()
+    from ..simulator.model import model_wrapper_launch
+    env = dict(zip(f2.body_block().args[:2],
+                   (model_grid, model_grid)))
+    timing = model_wrapper_launch(wrapper2, arch, env)
+    metrics = trace.metrics
+    metrics.time_seconds = timing.time_seconds
+    # unit utilizations come from the analytical model (the trace only
+    # counts traffic events)
+    metrics.lsu_utilization = timing.metrics.lsu_utilization
+    metrics.fma_utilization = timing.metrics.fma_utilization
+    return metrics.table_row()
+
+
+def table2_profile(arch: GPUArchitecture = A100, size: int = 64
+                   ) -> Dict[str, Dict[str, object]]:
+    """lud profiling counters at (1,1), (4,1), (1,4) — Table II."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for label, config in TABLE2_CONFIGS:
+        rows[label] = table2_profile_row(config, arch, size)
     return rows
 
 
@@ -382,17 +417,43 @@ def fig16_data(archs: Optional[Sequence[GPUArchitecture]] = None,
 def fig16_geomeans(data: Dict[str, Dict[Tuple[str, str], float]],
                    arch_name: str, baseline_tier: str = "clang"
                    ) -> Dict[str, float]:
-    """Geomean speedup of each tier over the baseline tier on one arch."""
+    """Geomean speedup of each tier over the baseline tier on one arch.
+
+    Missing cells (``None`` / absent) are skipped; a legitimately-0.0
+    modeled time cannot form a finite ratio, so it is dropped with a
+    warning rather than silently. If *every* benchmark's ratio was
+    discarded for a tier, the sweep is all-invalid and this raises
+    instead of reporting a masking 1.0 geomean.
+    """
+    import warnings
     tiers = sorted({tier for rows in data.values()
                     for (a, tier) in rows if a == arch_name})
     result = {}
     for tier in tiers:
         ratios = []
-        for rows in data.values():
-            base = rows.get((arch_name, baseline_tier))
-            this = rows.get((arch_name, tier))
-            if base and this:
+        populated = 0
+        dropped_zero = 0
+        for name in data:
+            base = data[name].get((arch_name, baseline_tier))
+            this = data[name].get((arch_name, tier))
+            if base is None or this is None:
+                continue
+            populated += 1
+            if base > 0 and this > 0:
                 ratios.append(base / this)
+            else:
+                dropped_zero += 1
+                warnings.warn(
+                    "fig16_geomeans: %s on %s/%s has a 0.0 modeled time "
+                    "(base=%r this=%r); dropping it from the geomean" %
+                    (name, arch_name, tier, base, this), RuntimeWarning,
+                    stacklevel=2)
+        if populated and not ratios:
+            raise ValueError(
+                "fig16_geomeans: every ratio for tier %r on %s was "
+                "discarded (%d zero-time of %d populated cells) — the "
+                "sweep is all-invalid" %
+                (tier, arch_name, dropped_zero, populated))
         result[tier] = geomean(ratios)
     return result
 

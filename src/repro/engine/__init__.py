@@ -24,15 +24,19 @@ from typing import Optional
 
 from .cache import (CacheEntry, TuningCache, default_cache_path,
                     source_hash, tuning_key)
-from .parallel import (SequentialBackend, ThreadPoolBackend, make_backend,
-                       WORKERS_ENV)
+from .parallel import (BACKEND_ENV, ProcessPoolBackend, SequentialBackend,
+                       ThreadPoolBackend, make_backend, WORKERS_ENV)
+from .scheduler import (Job, JobResult, SWEEP_WORKERS_ENV, SweepScheduler,
+                        sweep_workers)
 from .stats import EngineStats
 
 __all__ = [
-    "CacheEntry", "EngineStats", "SequentialBackend", "ThreadPoolBackend",
-    "TuningCache", "TuningEngine", "VALIDATE_ENV", "default_cache_path",
-    "default_engine", "make_backend", "set_default_engine", "source_hash",
-    "tuning_key", "WORKERS_ENV",
+    "BACKEND_ENV", "CacheEntry", "EngineStats", "Job", "JobResult",
+    "ProcessPoolBackend", "SWEEP_WORKERS_ENV", "SequentialBackend",
+    "SweepScheduler", "ThreadPoolBackend", "TuningCache", "TuningEngine",
+    "VALIDATE_ENV", "default_cache_path", "default_engine", "make_backend",
+    "set_default_engine", "source_hash", "sweep_workers", "tuning_key",
+    "WORKERS_ENV",
 ]
 
 #: set to a truthy value ("1", "true", "yes", "on") to turn the

@@ -20,6 +20,7 @@ import copy
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -158,7 +159,7 @@ class TuningCache:
         self._memory.clear()
         if self.path and os.path.isdir(self.path):
             for name in os.listdir(self.path):
-                if name.endswith(".json"):
+                if name.endswith(".json") or name.endswith(".tmp"):
                     os.remove(os.path.join(self.path, name))
 
     def __len__(self) -> int:
@@ -176,21 +177,43 @@ class TuningCache:
         return os.path.join(self.path, key + ".json")
 
     def _load(self, key: str) -> Optional[CacheEntry]:
+        path = self._file(key)
         try:
-            with open(self._file(key)) as handle:
+            with open(path) as handle:
                 return entry_from_dict(json.load(handle))
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            return None  # not on disk (or unreadable): a plain miss
+        except (ValueError, KeyError, TypeError):
+            # corrupt or stale-schema entry: delete it so the key can be
+            # re-tuned and re-stored instead of missing on every lookup
+            logger.warning("deleting corrupt cache entry %s", path)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
 
     def _dump(self, key: str, entry: CacheEntry) -> None:
+        # the temp file must be unique PER WRITER: concurrent processes
+        # storing the same key with a shared name would interleave writes
+        # and os.replace a corrupt file into the cache
         target = self._file(key)
-        tmp = target + ".tmp"
+        tmp = None
         try:
-            with open(tmp, "w") as handle:
+            fd, tmp = tempfile.mkstemp(dir=self.path,
+                                       prefix=key[:16] + ".",
+                                       suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
                 json.dump(entry_to_dict(entry), handle)
             os.replace(tmp, target)
         except OSError:
             pass  # disk persistence is best-effort
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
 
 
 def default_cache_path() -> Optional[str]:

@@ -1,15 +1,23 @@
-"""Evaluation backends: sequential by default, thread-pool fan-out on demand.
+"""Evaluation backends: sequential by default, thread- or process-pool
+fan-out on demand.
 
 Alternative timing and register estimation are independent per alternative,
-so they can be mapped over a worker pool. Both backends preserve input
+so they can be mapped over a worker pool. All backends preserve input
 order, so the selected winner is identical either way — parallelism is a
 throughput knob, never a behavior change.
+
+``ThreadPoolBackend`` accepts arbitrary callables (closures over IR
+included) but is GIL-bound over the pure-Python simulator.
+``ProcessPoolBackend`` sidesteps the GIL but requires the function and
+every item to be picklable — which the in-memory IR is not, so the
+per-alternative TDO map stays on threads and CPU-bound scale-out happens
+one level up, at job granularity, in :mod:`repro.engine.scheduler`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
@@ -17,6 +25,9 @@ R = TypeVar("R")
 
 #: environment variable selecting the default worker count
 WORKERS_ENV = "REPRO_TUNE_WORKERS"
+#: environment variable selecting the default backend kind
+#: ("thread", the default, or "process")
+BACKEND_ENV = "REPRO_TUNE_BACKEND"
 
 
 class SequentialBackend:
@@ -51,11 +62,39 @@ class ThreadPoolBackend:
         return "ThreadPoolBackend(workers=%d)" % self.workers
 
 
-def make_backend(workers: Optional[int] = None):
+class ProcessPoolBackend:
+    """Order-preserving fan-out over ``concurrent.futures`` processes.
+
+    The function and items must be picklable (module-level functions,
+    plain-data items). Unpicklable work raises the executor's pickling
+    error — use :class:`ThreadPoolBackend` for closures over IR.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError("ProcessPoolBackend needs at least 2 workers; "
+                             "use SequentialBackend instead")
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:
+        return "ProcessPoolBackend(workers=%d)" % self.workers
+
+
+def make_backend(workers: Optional[int] = None,
+                 kind: Optional[str] = None):
     """Resolve a backend from an explicit worker count or the environment.
 
     ``workers`` of ``None`` consults ``$REPRO_TUNE_WORKERS``; a count of
-    0 or 1 (or anything unparseable) means sequential.
+    0 or 1 (or anything unparseable) means sequential. ``kind`` of
+    ``None`` consults ``$REPRO_TUNE_BACKEND`` (``"thread"`` unless set to
+    ``"process"``).
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "")
@@ -63,5 +102,10 @@ def make_backend(workers: Optional[int] = None):
             workers = int(raw)
         except ValueError:
             workers = 1
-    return ThreadPoolBackend(workers) if workers and workers > 1 \
-        else SequentialBackend()
+    if not workers or workers <= 1:
+        return SequentialBackend()
+    if kind is None:
+        kind = os.environ.get(BACKEND_ENV, "").strip().lower() or "thread"
+    if kind == "process":
+        return ProcessPoolBackend(workers)
+    return ThreadPoolBackend(workers)

@@ -1,0 +1,386 @@
+"""Crash-isolated process scheduling for embarrassingly-parallel sweeps.
+
+The paper's evaluation (§VII) is a large independent job matrix —
+benchmark × architecture × tier — over a pure-Python simulator, so
+thread-level fan-out is GIL-bound and process-level fan-out is the only
+way to use more than one core. :class:`SweepScheduler` runs picklable
+jobs over a pool of long-lived worker *processes* with the failure
+semantics a long sweep needs:
+
+* **per-job timeout** — an overdue worker is ``terminate()``-d and
+  replaced; the job is retried or degraded, never silently hung;
+* **bounded retry with backoff** — a failed attempt (exception, crash,
+  timeout) re-queues the job up to ``retries`` times, waiting
+  ``backoff * 2**attempt`` seconds between attempts;
+* **crash isolation** — a worker that dies (OOM kill, segfault,
+  ``os._exit``) takes down only its current job; the scheduler spawns a
+  replacement worker and the sweep continues;
+* **degrade-to-in-process** — when a job exhausts its retries, it is run
+  sequentially inside the scheduler's own process as a last resort
+  (``degrade=False`` marks it failed instead). A sweep therefore never
+  aborts because of one bad job.
+
+Jobs are ``(key, payload-dict)`` pairs and the runner is a module-level
+function so both pickle under any multiprocessing start method. Results
+come back keyed and in input order, which is what lets the caller merge
+them deterministically (see :mod:`repro.benchsuite.sweeps`).
+
+Per-job wall time, retries, timeouts, and degradations are recorded
+through :mod:`repro.obs.metrics` (``sweep.*`` instruments) when a
+registry is installed, and always tallied on the returned
+:class:`JobResult` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
+logger = get_logger("engine.scheduler")
+
+#: environment variable selecting the default sweep worker count
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: supervisor poll interval in seconds
+_TICK = 0.05
+#: grace period for clean worker shutdown before terminate()
+_SHUTDOWN_GRACE = 1.0
+
+
+def sweep_workers(workers: Optional[int] = None) -> int:
+    """Resolve a sweep worker count: explicit > env > cpu count."""
+    if workers is not None:
+        return max(1, int(workers))
+    raw = os.environ.get(SWEEP_WORKERS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent, picklable unit of sweep work."""
+
+    key: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """Terminal state of one job after scheduling."""
+
+    key: str
+    status: str = "ok"            # "ok" | "failed"
+    value: Any = None
+    seconds: float = 0.0          # wall time of the successful attempt
+    attempts: int = 0             # total attempts (including the last)
+    retries: int = 0              # re-queues after a failed attempt
+    timeouts: int = 0             # attempts killed by the deadline
+    degraded: bool = False        # final value came from in-process run
+    error: str = ""               # last failure reason
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class _JobState:
+    __slots__ = ("job", "attempts", "retries", "timeouts", "retry_at",
+                 "errors")
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.attempts = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.retry_at = 0.0
+        self.errors: List[str] = []
+
+
+def _worker_main(tasks, results) -> None:
+    """Worker loop: one job at a time from a private queue; None stops."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        ticket, runner, payload = item
+        start = time.perf_counter()
+        try:
+            value = runner(payload)
+            results.put((ticket, True, value,
+                         time.perf_counter() - start, ""))
+        except BaseException as error:  # report ANY failure; stay alive
+            results.put((ticket, False, None,
+                         time.perf_counter() - start,
+                         "%s: %s" % (type(error).__name__, error)))
+
+
+class _Worker:
+    """One process plus its private task queue and current assignment."""
+
+    def __init__(self, context, results):
+        self.tasks = context.SimpleQueue()
+        self.process = context.Process(
+            target=_worker_main, args=(self.tasks, results), daemon=True)
+        self.process.start()
+        #: (ticket, _JobState, started_monotonic) or None when idle
+        self.current = None
+
+    def assign(self, ticket: int, runner, state: _JobState) -> None:
+        self.current = (ticket, state, time.monotonic())
+        self.tasks.put((ticket, runner, state.job.payload))
+
+    def stop(self) -> None:
+        try:
+            self.tasks.put(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=_SHUTDOWN_GRACE)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=_SHUTDOWN_GRACE)
+
+    def kill(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=_SHUTDOWN_GRACE)
+
+
+class SweepScheduler:
+    """Run picklable jobs over worker processes with bounded failure.
+
+    ``timeout`` is the per-attempt deadline in seconds (``None`` means
+    unbounded); ``retries`` is how many times a failed job is re-queued
+    before it is degraded (run in-process) or marked failed.
+    ``mp_context`` names a multiprocessing start method (``"fork"``,
+    ``"spawn"``); ``None`` uses the platform default.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff: float = 0.5,
+                 degrade: bool = True,
+                 mp_context: Optional[str] = None):
+        self.workers = sweep_workers(workers)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.degrade = bool(degrade)
+        self._context = multiprocessing.get_context(mp_context)
+
+    def __repr__(self) -> str:
+        return ("SweepScheduler(workers=%d, timeout=%r, retries=%d, "
+                "degrade=%r)" % (self.workers, self.timeout, self.retries,
+                                 self.degrade))
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, runner: Callable[[Dict[str, Any]], Any],
+            jobs: Sequence[Job]) -> Dict[str, JobResult]:
+        """Run every job; returns ``{key: JobResult}`` in input order.
+
+        Never raises for a job failure: a job that fails every attempt
+        (and, when enabled, the in-process degrade) comes back with
+        ``status="failed"`` and its last error.
+        """
+        jobs = list(jobs)
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("sweep job keys must be unique")
+        results: Dict[str, JobResult] = {}
+        if not jobs:
+            return results
+        if self.workers <= 1 or len(jobs) == 1:
+            done = self._run_sequential(runner, jobs)
+        else:
+            done = self._run_pool(runner, jobs)
+        # deterministic output order: the input job order
+        for key in keys:
+            results[key] = done[key]
+        return results
+
+    # -- sequential fallback ------------------------------------------------
+
+    def _run_sequential(self, runner, jobs) -> Dict[str, JobResult]:
+        """In-process execution (no timeout enforcement, no retries)."""
+        done = {}
+        for job in jobs:
+            start = time.perf_counter()
+            try:
+                value = runner(job.payload)
+                result = JobResult(job.key, "ok", value,
+                                   time.perf_counter() - start, attempts=1)
+            except Exception as error:
+                result = JobResult(
+                    job.key, "failed", None,
+                    time.perf_counter() - start, attempts=1,
+                    error="%s: %s" % (type(error).__name__, error))
+            self._record(result)
+            done[job.key] = result
+        return done
+
+    # -- process pool -------------------------------------------------------
+
+    def _run_pool(self, runner, jobs) -> Dict[str, JobResult]:
+        results_queue = self._context.Queue()
+        pool: List[_Worker] = []
+        pending = deque(_JobState(job) for job in jobs)
+        waiting: List[_JobState] = []     # backoff-delayed retries
+        tickets: Dict[int, _JobState] = {}
+        counter = itertools.count()
+        done: Dict[str, JobResult] = {}
+        pool_size = min(self.workers, len(jobs))
+        try:
+            for _ in range(pool_size):
+                pool.append(_Worker(self._context, results_queue))
+            while len(done) < len(jobs):
+                now = time.monotonic()
+                # promote retries whose backoff has elapsed
+                ready = [s for s in waiting if s.retry_at <= now]
+                for state in ready:
+                    waiting.remove(state)
+                    pending.append(state)
+                # hand work to idle workers
+                for worker in pool:
+                    if worker.current is None and pending:
+                        state = pending.popleft()
+                        state.attempts += 1
+                        ticket = next(counter)
+                        tickets[ticket] = state
+                        worker.assign(ticket, runner, state)
+                # reap results (block briefly, then drain)
+                self._reap(results_queue, pool, tickets, done, waiting,
+                           runner)
+                # enforce deadlines and detect dead workers
+                self._police(results_queue, pool, tickets, done, waiting,
+                             runner)
+        finally:
+            for worker in pool:
+                worker.stop()
+        return done
+
+    def _reap(self, results_queue, pool, tickets, done, waiting,
+              runner) -> None:
+        first = True
+        while True:
+            try:
+                # block briefly on the first read, then drain what's there
+                item = results_queue.get(timeout=_TICK) if first \
+                    else results_queue.get_nowait()
+            except (queue_module.Empty, OSError, EOFError):
+                return
+            first = False
+            ticket, ok, value, seconds, error = item
+            state = tickets.pop(ticket, None)
+            if state is None:
+                continue  # stale result from a timed-out attempt
+            for worker in pool:
+                if worker.current is not None and \
+                        worker.current[0] == ticket:
+                    worker.current = None
+                    break
+            if ok:
+                result = JobResult(
+                    state.job.key, "ok", value, seconds,
+                    attempts=state.attempts, retries=state.retries,
+                    timeouts=state.timeouts)
+                self._record(result)
+                done[state.job.key] = result
+            else:
+                self._handle_failure(state, error, done, waiting, runner)
+
+    def _police(self, results_queue, pool, tickets, done, waiting,
+                runner) -> None:
+        now = time.monotonic()
+        for index, worker in enumerate(pool):
+            current = worker.current
+            if current is None:
+                # an idle worker can still die (external kill); replace it
+                # so the pool never shrinks to zero
+                if not worker.process.is_alive():
+                    worker.kill()
+                    pool[index] = _Worker(self._context, results_queue)
+                continue
+            ticket, state, started = current
+            overdue = self.timeout is not None and \
+                now - started > self.timeout
+            dead = not worker.process.is_alive()
+            if not overdue and not dead:
+                continue
+            if overdue:
+                state.timeouts += 1
+                obs_metrics.inc("sweep.timeouts")
+                reason = "timeout after %.1fs" % (now - started)
+                logger.warning("job %s %s; killing worker",
+                               state.job.key, reason)
+                worker.kill()
+            else:
+                reason = "worker died (exitcode %s)" % \
+                    worker.process.exitcode
+                logger.warning("job %s: %s", state.job.key, reason)
+                worker.kill()  # reap the corpse
+            tickets.pop(ticket, None)
+            pool[index] = _Worker(self._context, results_queue)
+            self._handle_failure(state, reason, done, waiting, runner)
+
+    def _handle_failure(self, state, reason, done, waiting,
+                        runner) -> None:
+        state.errors.append(reason)
+        obs_metrics.inc("sweep.job_failures")
+        if state.attempts <= self.retries:
+            state.retries += 1
+            obs_metrics.inc("sweep.retries")
+            state.retry_at = time.monotonic() + \
+                self.backoff * (2 ** (state.attempts - 1))
+            waiting.append(state)
+            return
+        if self.degrade:
+            self._degrade(state, done, runner)
+            return
+        result = JobResult(
+            state.job.key, "failed", None, attempts=state.attempts,
+            retries=state.retries, timeouts=state.timeouts,
+            error=state.errors[-1] if state.errors else "")
+        self._record(result)
+        done[state.job.key] = result
+
+    def _degrade(self, state, done, runner) -> None:
+        """Last resort: run the job sequentially in this process."""
+        obs_metrics.inc("sweep.degraded")
+        logger.warning("job %s degraded to in-process execution after "
+                       "%d failed attempt(s)", state.job.key,
+                       state.attempts)
+        start = time.perf_counter()
+        try:
+            value = runner(state.job.payload)
+            result = JobResult(
+                state.job.key, "ok", value, time.perf_counter() - start,
+                attempts=state.attempts + 1, retries=state.retries,
+                timeouts=state.timeouts, degraded=True)
+        except Exception as error:
+            result = JobResult(
+                state.job.key, "failed", None,
+                time.perf_counter() - start, attempts=state.attempts + 1,
+                retries=state.retries, timeouts=state.timeouts,
+                degraded=True,
+                error="%s: %s" % (type(error).__name__, error))
+        self._record(result)
+        done[state.job.key] = result
+
+    @staticmethod
+    def _record(result: JobResult) -> None:
+        if result.ok:
+            obs_metrics.inc("sweep.jobs_completed")
+            obs_metrics.observe("sweep.job_seconds", result.seconds)
+        else:
+            obs_metrics.inc("sweep.jobs_failed")

@@ -96,3 +96,44 @@ class TestTargets:
         out = capsys.readouterr().out
         for name in ("A4000", "A100", "RX6800", "MI210"):
             assert name in out
+
+
+class TestSweep:
+    def test_fig16_json_and_resume(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "sweep.json"
+        argv = ["sweep", "fig16", "--benchmarks", "nn", "--arch", "a100",
+                "--max-factor", "2", "--workers", "1",
+                "--json", str(out)]
+        assert main(argv) == 0
+        captured = capsys.readouterr().out
+        assert "3 job(s) run" in captured  # nn x a100 x 3 tiers
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == "fig16"
+        assert len(payload["jobs"]) == 3
+        assert payload["failed"] == {}
+        assert payload["data"]["nn"]["NVIDIA A100"]["clang"] > 0
+        # second run resumes every job from the file
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr().out
+        assert "0 job(s) run, 3 resumed" in captured
+
+    def test_table2(self, tmp_path, capsys):
+        out = tmp_path / "t2.json"
+        assert main(["sweep", "table2", "--workers", "1",
+                     "--json", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "3 job(s) run" in captured
+        assert out.exists()
+
+    def test_resume_requires_json(self, capsys):
+        assert main(["sweep", "fig16", "--resume"]) == 1
+        assert "--resume needs --json" in capsys.readouterr().err
+
+    def test_resume_rejects_other_figure(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "sweep.json"
+        out.write_text(json.dumps({"figure": "fig13", "jobs": {}}))
+        assert main(["sweep", "fig16", "--resume",
+                     "--json", str(out)]) == 1
+        assert "cannot resume" in capsys.readouterr().err

@@ -21,6 +21,12 @@ from repro.pipeline import Program, _fixed_selector
 from repro.targets import A100, RX6800
 from repro.transforms import generate_coarsening_alternatives
 
+
+def _square(x):
+    """Module-level so ProcessPoolBackend can pickle it."""
+    return x * x
+
+
 SOURCE = """
 __global__ void scale(float *x, float a, int n) {
     int i = blockIdx.x * blockDim.x + threadIdx.x;
@@ -190,6 +196,29 @@ class TestParallelBackend:
         fn = lambda x: x * x
         assert ThreadPoolBackend(4).map(fn, items) == \
             SequentialBackend().map(fn, items)
+
+    def test_make_backend_process_kind(self, monkeypatch):
+        from repro.engine import ProcessPoolBackend
+        assert isinstance(make_backend(4, kind="process"),
+                          ProcessPoolBackend)
+        monkeypatch.setenv("REPRO_TUNE_BACKEND", "process")
+        assert isinstance(make_backend(4), ProcessPoolBackend)
+        monkeypatch.setenv("REPRO_TUNE_BACKEND", "thread")
+        assert isinstance(make_backend(4), ThreadPoolBackend)
+        # backend kind never overrides a sequential worker count
+        assert isinstance(make_backend(1, kind="process"),
+                          SequentialBackend)
+
+    def test_process_backend_preserves_order(self):
+        from repro.engine import ProcessPoolBackend
+        items = list(range(12))
+        assert ProcessPoolBackend(2).map(_square, items) == \
+            [x * x for x in items]
+
+    def test_process_backend_single_item_shortcut(self):
+        # length <= 1 avoids pool startup AND the picklability demand
+        from repro.engine import ProcessPoolBackend
+        assert ProcessPoolBackend(2).map(lambda x: x + 1, [41]) == [42]
 
     @pytest.mark.parametrize("bench_name", ["lud", "gaussian"])
     def test_parallel_selects_same_winner(self, bench_name):

@@ -20,6 +20,46 @@ class TestGeomean:
         assert geomean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
 
 
+class TestFig16Geomeans:
+    """fig16_geomeans must distinguish missing, zero, and valid cells."""
+
+    @staticmethod
+    def _data(**cells):
+        # two benchmarks, one arch, tiers clang + polygeist
+        data = {
+            "a": {("GPU", "clang"): 2.0, ("GPU", "polygeist"): 1.0},
+            "b": {("GPU", "clang"): 4.0, ("GPU", "polygeist"): 2.0},
+        }
+        for spec, value in cells.items():
+            name, tier = spec.split("_", 1)
+            data[name][("GPU", tier)] = value
+        return data
+
+    def test_basic_speedups(self):
+        from repro.benchsuite.experiments import fig16_geomeans
+        means = fig16_geomeans(self._data(), "GPU")
+        assert means["polygeist"] == pytest.approx(2.0)
+        assert means["clang"] == pytest.approx(1.0)
+
+    def test_none_cells_skipped_not_dropped_as_zero(self):
+        from repro.benchsuite.experiments import fig16_geomeans
+        means = fig16_geomeans(self._data(b_polygeist=None), "GPU")
+        assert means["polygeist"] == pytest.approx(2.0)  # only 'a' counts
+
+    def test_zero_time_warns_instead_of_silent_drop(self):
+        from repro.benchsuite.experiments import fig16_geomeans
+        with pytest.warns(RuntimeWarning, match="0.0 modeled time"):
+            means = fig16_geomeans(self._data(b_polygeist=0.0), "GPU")
+        assert means["polygeist"] == pytest.approx(2.0)
+
+    def test_all_ratios_discarded_raises(self):
+        from repro.benchsuite.experiments import fig16_geomeans
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ValueError, match="all-invalid"):
+                fig16_geomeans(
+                    self._data(a_polygeist=0.0, b_polygeist=0.0), "GPU")
+
+
 class TestKernelSweep:
     @pytest.fixture(scope="class")
     def sweep(self):

@@ -8,7 +8,7 @@ from repro.dialects import polygeist
 from repro.frontend import ModuleGenerator, parse_translation_unit
 from repro.interpreter import MemoryBuffer, run_module
 from repro.ir import F32, verify_module
-from repro.targets import A100
+from repro.targets import A100, MI210, compute_occupancy
 from repro.transforms import run_cleanup
 from repro.transforms.coarsen import block_parallels
 
@@ -70,6 +70,47 @@ class TestChooseFactors:
         module, name, wrapper = build(SMALL_BLOCK, block=(32,))
         choice = choose_factors(block_parallels(wrapper)[0], A100)
         assert choice.thread_total == 1  # 32 threads: halving breaks warps
+
+
+class TestWavefront64:
+    """Lock the lane-normalization convention on warp_size=64 targets.
+
+    Latency-hiding parallelism is counted in 32-thread warp EQUIVALENTS
+    everywhere (LANE_WARP_WIDTH), so a 64-wide MI210 wavefront counts as
+    two units — dividing by ``arch.warp_size`` would undercount AMD
+    parallelism by 2x and over-coarsen. The warp-granularity check in
+    step 3, by contrast, MUST use the real ``warp_size``.
+    """
+
+    def test_lane_warps_ignores_wavefront_width(self):
+        from repro.autotune.heuristic import LANE_WARP_WIDTH, lane_warps
+        occupancy = compute_occupancy(MI210, 256, 32, 0)
+        assert occupancy.warp_size == 64
+        assert occupancy.active_threads == 2048
+        assert LANE_WARP_WIDTH == 32.0
+        # 2048 threads hide as much latency as 64 32-wide warps, not 32
+        assert lane_warps(occupancy) == 64.0
+
+    def test_mi210_occupancy_not_undercounted(self):
+        # 64-thread blocks on MI210: 1024 active threads = 32 lane-warps,
+        # short of the 48 wanted -> exactly one doubling. A /warp_size
+        # deficit (16 "warps") would demand x4 instead.
+        module, name, wrapper = build(SMALL_BLOCK, block=(64,))
+        choice = choose_factors(block_parallels(wrapper)[0], MI210)
+        assert choice.block_total == 2
+        assert choice.thread_total == 1
+        assert any("active warps 32" in r for r in choice.reasons)
+
+    def test_thread_factor_respects_wavefront_width(self):
+        # 64 threads is two full warps on A100 (thread factor 2 legal)
+        # but exactly ONE wavefront on MI210 (halving breaks it)
+        module, name, wrapper = build(SHARED_HEAVY, block=(64,))
+        nvidia = choose_factors(block_parallels(wrapper)[0], A100)
+        assert nvidia.thread_total == 2
+        module, name, wrapper = build(SHARED_HEAVY, block=(64,))
+        amd = choose_factors(block_parallels(wrapper)[0], MI210)
+        assert amd.thread_total == 1
+        assert any("keep full warps" in r for r in amd.reasons)
 
 
 class TestHeuristicTune:
