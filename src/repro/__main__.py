@@ -376,6 +376,25 @@ def cmd_sweep(args) -> int:
     return 0 if outcome.data is not None else 1
 
 
+def cmd_bench(args) -> int:
+    from .bench import run_model_bench
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    archs = args.archs.split(",") if args.archs else None
+    recorder = run_model_bench(args.figure, benchmarks=benchmarks,
+                               archs=archs, repeats=args.repeats)
+    out = args.out or ("BENCH_%s.json" % args.figure)
+    recorder.write(out)
+    scalar = recorder.seconds("scalar")
+    batched = recorder.seconds("batched")
+    print("%s: scalar %.2fs CPU, batched %.2fs CPU -> %.2fx speedup "
+          "(outputs identical: %s)" %
+          (args.figure, scalar, batched, recorder.derived["speedup_cpu"],
+           recorder.derived["outputs_identical"]))
+    print("wrote %s" % out)
+    return 0
+
+
 def cmd_targets(args) -> int:
     from .targets import ALL_ARCHS
 
@@ -452,6 +471,23 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=0,
                           help="input-seeding RNG seed")
     validate.set_defaults(fn=cmd_validate)
+
+    bench = sub.add_parser(
+        "bench", help="time scalar vs batched model scoring, write "
+                      "BENCH_<figure>.json")
+    bench.add_argument("figure", choices=("fig16", "fig13"))
+    bench.add_argument("--benchmarks", default="gaussian,lud",
+                       help="comma-separated benchsuite names "
+                            "(default: gaussian,lud)")
+    bench.add_argument("--archs", default="NVIDIA A100",
+                       help="comma-separated GPU names "
+                            "(default: 'NVIDIA A100')")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="repeats per mode; minimum CPU time is "
+                            "recorded (default 1)")
+    bench.add_argument("--out", help="output path "
+                                     "(default BENCH_<figure>.json)")
+    bench.set_defaults(fn=cmd_bench)
 
     cache = sub.add_parser("cache", help="inspect the on-disk tuning cache")
     cache.add_argument("action", choices=("info", "clear"))

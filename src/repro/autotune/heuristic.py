@@ -25,21 +25,19 @@ from typing import Dict, Optional
 
 from ..analysis import kernel_statistics, shared_bytes_per_block
 from ..ir import Operation
-from ..targets import GPUArchitecture, compute_occupancy, estimate_registers
+from ..targets import (GPUArchitecture, LANE_WARP_WIDTH, compute_occupancy,
+                       estimate_registers)
 from ..transforms.coarsen import parallel_extents, thread_parallel
 
 #: never propose more combined coarsening than this
 MAX_TOTAL = 16
 #: assume spilling starts when the scaled register estimate crosses this
 SPILL_HEADROOM = 0.85
-#: latency-hiding parallelism is measured in 32-thread warp EQUIVALENTS,
-#: matching the simulator's convention (``simulator/model.py``): a 64-wide
-#: AMD wavefront issues per-lane, so it hides as much latency as two
-#: 32-thread warps. The absolute targets below (48/16) are in the same
-#: lane-normalized units, which keeps the deficit computation consistent
-#: across ``warp_size`` 32 and 64 — do NOT divide by ``arch.warp_size``
-#: here, or MI210/RX6800 would see half the parallelism they really have.
-LANE_WARP_WIDTH = 32.0
+# The latency-hiding deficit below is measured in 32-thread warp
+# equivalents via the shared ``repro.targets.LANE_WARP_WIDTH`` constant —
+# the same normalization the simulator model uses, so heuristic and model
+# can never drift apart on wavefront-64 targets. The absolute targets
+# (48/16) are in those lane-normalized units.
 
 
 def lane_warps(occupancy) -> float:

@@ -19,8 +19,10 @@ from ..obs import decisions as obs_decisions
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 from ..obs.log import get_logger
-from ..simulator.model import InvalidLaunch, LaunchTiming, block_count
-from ..targets import GPUArchitecture
+from ..simulator.model import (InvalidLaunch, LaunchTiming, block_count,
+                               block_counts, env_columns,
+                               use_scalar_model)
+from ..targets import GPUArchitecture, register_estimate_cache
 from ..transforms.alternatives import select_alternative
 from ..transforms.coarsen import block_parallels_in_region
 from .filters import FilterReport, run_filters
@@ -106,6 +108,145 @@ def _time_region(alt: Operation, index: int, arch: GPUArchitecture,
     return total
 
 
+def _batched_candidates(alt: Operation, arch: GPUArchitecture,
+                        envs, descs: List[str]) -> List[Candidate]:
+    """Score every alternative in one vectorized batch.
+
+    Assembles (model row, block count) entries in exactly the order the
+    scalar path visits them (env-outer, loop-inner), evaluates all of
+    them through :class:`~repro.simulator.batch.BatchedKernelModel`, and
+    reduces per-alternative sums with the scalar path's accumulation
+    grouping — so times, failure reasons, *and* the first-failure point
+    of invalid alternatives are identical to the scalar path's.
+    """
+    import numpy as np
+
+    from ..simulator.batch import BatchedKernelModel
+    from ..simulator.model import KernelModel
+    batch = BatchedKernelModel()
+    model_cache: Dict[int, KernelModel] = {}
+    rows: List[int] = []
+    counts: List[int] = []
+    # per alternative: list (one per env) of [start, stop) slices into
+    # rows/counts, ("uniform", start, envs, loops) when every env
+    # launches every loop, or the InvalidLaunch that stopped assembly
+    plans: List[object] = []
+    env_cols = env_columns(envs)
+    for index in range(len(alt.regions)):
+        loops = list(block_parallels_in_region(alt.region(index)))
+        # all envs' block counts per loop in one vectorized evaluation
+        loop_blocks = [block_counts(loop, envs, env_cols)
+                       for loop in loops]
+
+        # fast path: when no env's grid is unevaluable or empty (the
+        # overwhelmingly common case), the (row, count) sequence is the
+        # loop pattern repeated per env — assembled with list repetition
+        # and one transpose instead of a per-(env, loop) python loop
+        regular = len(envs) > 0 and \
+            not any(None in per_env for per_env in loop_blocks)
+        arrays = []
+        if regular:
+            for per_env in loop_blocks:
+                arr = np.asarray(per_env, dtype=np.int64)
+                if int(arr.min(initial=1)) <= 0:
+                    regular = False
+                    break
+                arrays.append(arr)
+        if regular:
+            pattern: List[int] = []
+            failed: Optional[InvalidLaunch] = None
+            try:
+                # loop order == the scalar path's first-env visit order,
+                # so the first failure (construction or launchability)
+                # is the same one the scalar path reports
+                for loop in loops:
+                    key = loop.stable_uid()
+                    model = model_cache.get(key)
+                    if model is None:
+                        model = KernelModel(loop, arch)
+                        model_cache[key] = model
+                    model.ensure_launchable()
+                    pattern.append(batch.add_model(model))
+            except InvalidLaunch as error:
+                failed = error
+            if failed is not None:
+                plans.append(failed)
+                continue
+            start = len(rows)
+            rows.extend(pattern * len(envs))
+            if arrays:
+                counts.extend(np.stack(arrays).T.ravel().tolist())
+            plans.append(("uniform", start, len(envs), len(loops)))
+            continue
+
+        env_spans: List[Tuple[int, int]] = []
+        failure: Optional[InvalidLaunch] = None
+        for position, one in enumerate(envs):
+            start = len(rows)
+            try:
+                for loop, per_env in zip(loops, loop_blocks):
+                    blocks = per_env[position]
+                    if blocks is None:
+                        raise InvalidLaunch("grid size not evaluable")
+                    if blocks <= 0:
+                        continue
+                    key = loop.stable_uid()
+                    model = model_cache.get(key)
+                    if model is None:
+                        model = KernelModel(loop, arch)
+                        model_cache[key] = model
+                    # scalar raises this inside time_seconds_for; raise
+                    # it here so entries after the failure never batch
+                    model.ensure_launchable()
+                    rows.append(batch.add_model(model))
+                    counts.append(blocks)
+            except InvalidLaunch as error:
+                del rows[start:]
+                del counts[start:]
+                failure = error
+                break
+            env_spans.append((start, len(rows)))
+        plans.append(failure if failure is not None else env_spans)
+
+    times_array = batch.times(rows, counts)
+    times = times_array.tolist()
+
+    candidates = []
+    for index, plan in enumerate(plans):
+        with obs_tracer.span("tdo.alternative", category="tdo",
+                             desc=descs[index]) as span:
+            if isinstance(plan, InvalidLaunch):
+                span.set(invalid=str(plan))
+                candidates.append(Candidate(index, descs[index],
+                                            float("inf"), False,
+                                            str(plan)))
+                continue
+            # scalar grouping: sum-over-envs of per-env accumulations
+            seconds = 0
+            if isinstance(plan, tuple):
+                _, start, num_envs, width = plan
+                span_times = times_array[start:start + num_envs * width]
+                columns = span_times.reshape(num_envs, width)
+                # left-to-right elementwise adds from 0.0 — the same IEEE
+                # operation sequence as the scalar per-env accumulation
+                env_totals = np.zeros(num_envs)
+                for column in range(width):
+                    env_totals = env_totals + columns[:, column]
+                for env_total in env_totals.tolist():
+                    seconds = seconds + env_total
+            else:
+                for start, stop in plan:
+                    env_total = 0.0
+                    for position in range(start, stop):
+                        env_total += times[position]
+                    seconds = seconds + env_total
+            span.set(seconds=seconds)
+            obs_metrics.observe("tdo.alternative_seconds", seconds)
+            candidates.append(Candidate(index, descs[index], seconds,
+                                        True))
+    return candidates
+
+
 def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
                                env,
                                select: bool = True,
@@ -117,9 +258,15 @@ def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
     application run, so alternatives are ranked by their time summed over
     every launch geometry observed (e.g. gaussian's shrinking grids).
 
+    All alternatives are scored in one vectorized numpy batch (bit-
+    identical to the scalar reference — see
+    :mod:`repro.simulator.batch`); set ``REPRO_SCALAR_MODEL=1`` to force
+    the scalar path.
+
     ``backend`` (see :mod:`repro.engine.parallel`) fans the per-alternative
-    evaluation out over workers; ``None`` evaluates sequentially. Both
-    paths preserve order, so the selection is identical.
+    evaluation out over workers; ``None`` evaluates sequentially (batched
+    when possible). All paths preserve order, so the selection is
+    identical.
     """
     envs = env if isinstance(env, (list, tuple)) else [env]
     descs = polygeist.alternative_descs(alt)
@@ -144,13 +291,19 @@ def timing_driven_optimization(alt: Operation, arch: GPUArchitecture,
                                  False, str(error))
 
     indices = range(len(alt.regions))
+    # a sequential backend (the default engine's) gains nothing from
+    # per-alternative map dispatch — give it the vectorized batch too;
+    # explicit multi-worker backends keep the scalar fan-out
+    fan_out = backend is not None and getattr(backend, "workers", 1) > 1
     with obs_tracer.span("tdo", category="tdo",
                          alternatives=len(alt.regions),
                          launches=len(envs)):
-        if backend is None:
+        if fan_out:
+            candidates = list(backend.map(evaluate, indices))
+        elif use_scalar_model():
             candidates = [evaluate(index) for index in indices]
         else:
-            candidates = list(backend.map(evaluate, indices))
+            candidates = _batched_candidates(alt, arch, envs, descs)
     obs_metrics.inc("tdo.evaluations", len(candidates))
     valid = [c for c in candidates if c.valid]
     if not valid:
@@ -309,19 +462,22 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
                          "; ".join(report.rejected))
     with stage("cleanup"):
         _cleanup_alternatives(wrapper)
-    with stage("filters"):
-        filters = run_filters(report.op, arch, backend=backend)
-    validation = validation_keep = None
-    if validate and baseline_func is not None:
-        # gate after the cheap static filters, before the timing race:
-        # a fast-but-miscompiled alternative must never win
-        with stage("validate"), \
-                obs_tracer.span("tune.validate", category="tune"):
-            validation, validation_keep = _validation_gate(
-                report.op, baseline_func, sizing_wrapper, env, decision)
-    with stage("tdo"):
-        outcome = timing_driven_optimization(report.op, arch, env,
-                                             backend=backend)
+    # the IR is stable from here until selection, so the spill filter and
+    # the timing models may share one register-estimate memo per loop
+    with register_estimate_cache():
+        with stage("filters"):
+            filters = run_filters(report.op, arch, backend=backend)
+        validation = validation_keep = None
+        if validate and baseline_func is not None:
+            # gate after the cheap static filters, before the timing race:
+            # a fast-but-miscompiled alternative must never win
+            with stage("validate"), \
+                    obs_tracer.span("tune.validate", category="tune"):
+                validation, validation_keep = _validation_gate(
+                    report.op, baseline_func, sizing_wrapper, env, decision)
+        with stage("tdo"):
+            outcome = timing_driven_optimization(report.op, arch, env,
+                                                 backend=backend)
     outcome.filters = filters
     outcome.validation = validation
     # map the winning region back through the validation prune and the

@@ -1,0 +1,135 @@
+"""Micro-benchmark harness for the analytical-model hot path.
+
+``python -m repro bench fig16`` (or ``fig13``) times the figure-data
+producers twice over the same inputs — once forced onto the scalar
+reference model (``REPRO_SCALAR_MODEL=1``) and once on the batched numpy
+path — proves the two runs produce ``==``-identical figure data, and
+writes the timings to a ``BENCH_<figure>.json`` record (see
+:mod:`repro.bench.record` for the schema). CI runs the fig16 variant as a
+smoke test so a regression that silently drops the batched path (or
+breaks its equivalence) fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .record import BenchRecorder, Measurement
+
+__all__ = ["BenchRecorder", "Measurement", "run_model_bench"]
+
+#: defaults keep the smoke run under a few minutes on one CPU while still
+#: covering an interleaved-launch benchmark (lud) and a multi-kernel one
+DEFAULT_BENCHMARKS = ("gaussian", "lud")
+DEFAULT_ARCHS = ("NVIDIA A100",)
+
+
+def _fresh_engine():
+    # the process-wide default engine memoizes tuning outcomes per
+    # (source, wrapper, grids); a bench run must not replay the previous
+    # mode's (or repeat's) decisions, so each run starts cold
+    from ..engine import TuningEngine, set_default_engine
+    set_default_engine(TuningEngine())
+
+
+def _fig16_run(benchmarks, archs, configs):
+    from ..benchsuite.experiments import fig16_data
+
+    def run():
+        _fresh_engine()
+        data = fig16_data(archs=archs, benchmarks=benchmarks,
+                          configs=configs)
+        # flatten to plain, order-stable JSON-comparable form
+        return {name: {"%s|%s" % key: value
+                       for key, value in sorted(cells.items())}
+                for name, cells in data.items()}
+    return run
+
+
+def _fig13_run(benchmarks, archs, configs):
+    from ..benchsuite.experiments import fig13_data
+
+    def run():
+        _fresh_engine()
+        out = []
+        for arch in archs:
+            for sweep in fig13_data(arch=arch, benchmarks=benchmarks,
+                                    configs=configs):
+                out.append({
+                    "benchmark": sweep.benchmark,
+                    "kernel": sweep.kernel,
+                    "block": list(sweep.block),
+                    "results": [[r.desc, r.seconds, r.valid]
+                                for r in sweep.results],
+                })
+        return out
+    return run
+
+
+def run_model_bench(figure: str,
+                    benchmarks: Optional[Sequence[str]] = None,
+                    archs: Optional[Sequence[str]] = None,
+                    repeats: int = 1,
+                    configs=None) -> BenchRecorder:
+    """Time scalar vs batched model scoring for one figure producer.
+
+    Returns the populated :class:`BenchRecorder`; the caller decides
+    where (whether) to write it. Raises ``RuntimeError`` if the two paths
+    disagree on the figure data — the equivalence is the point.
+    """
+    from ..simulator.model import use_scalar_model
+    from ..targets import arch_by_name
+
+    bench_names = sorted(benchmarks or DEFAULT_BENCHMARKS)
+    arch_names = list(archs or DEFAULT_ARCHS)
+    arch_objs = [arch_by_name(name) for name in arch_names]
+    if figure == "fig16":
+        run = _fig16_run(bench_names, arch_objs, configs)
+    elif figure == "fig13":
+        run = _fig13_run(bench_names, arch_objs, configs)
+    else:
+        raise ValueError("unknown bench figure %r (fig16 or fig13)" %
+                         figure)
+
+    # prewarm shared memoized state (e.g. transfer-byte counts) so
+    # whichever mode runs first doesn't pay one-time costs for both
+    if figure == "fig16":
+        from ..benchsuite.base import get_benchmark
+        for name in bench_names:
+            bench = get_benchmark(name)
+            bench.transfer_bytes(bench.model_size)
+
+    recorder = BenchRecorder(figure, config={
+        "benchmarks": bench_names,
+        "archs": arch_names,
+        "repeats": repeats,
+    })
+    from ..engine import default_engine
+
+    def stage_seconds():
+        # per-stage wall time of the *last* repeat's engine: the engine
+        # is recreated per run, so this is one clean run's breakdown
+        return dict(default_engine().stats.stage_seconds)
+
+    scalar = recorder.measure("scalar", run, repeats=repeats,
+                              env={"REPRO_SCALAR_MODEL": "1"})
+    scalar_stages = stage_seconds()
+    recorder.measurements[-1].meta["stage_seconds"] = scalar_stages
+    batched = recorder.measure("batched", run, repeats=repeats)
+    batched_stages = stage_seconds()
+    recorder.measurements[-1].meta["stage_seconds"] = batched_stages
+    identical = scalar == batched
+    recorder.derive("outputs_identical", identical)
+    recorder.derive("batched_available", not use_scalar_model())
+    recorder.speedup("scalar", "batched")
+    # the batched rewrite targets the TDO scoring stage specifically; the
+    # end-to-end ratio dilutes it with parse/clone/cleanup costs the
+    # model change cannot touch, so record the stage-local ratio too
+    tdo_scalar = scalar_stages.get("tdo")
+    tdo_batched = batched_stages.get("tdo")
+    if tdo_scalar and tdo_batched:
+        recorder.derive("tdo_stage_speedup", tdo_scalar / tdo_batched)
+    if not identical:
+        raise RuntimeError(
+            "scalar and batched model paths disagree on %s data" % figure)
+    return recorder

@@ -10,9 +10,12 @@ translation story.
 
 from __future__ import annotations
 
+import logging
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+logger = logging.getLogger(__name__)
 
 _ID = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -175,7 +178,16 @@ def preprocess(source: str,
                     lambda m: "1" if m.group(1) in macros else "0", expanded)
                 try:
                     value = bool(eval(expanded, {"__builtins__": {}}, {}))
-                except Exception:
+                except (SyntaxError, NameError, TypeError, ValueError,
+                        ZeroDivisionError, AttributeError) as error:
+                    # C conditions that are not valid Python (unexpanded
+                    # identifiers, suffixed literals, …) count as false,
+                    # like an undefined macro in a real preprocessor —
+                    # but anything else (KeyboardInterrupt, RecursionError,
+                    # MemoryError) must propagate rather than silently
+                    # disable a source region
+                    logger.debug("skipping #if %r: condition did not "
+                                 "evaluate (%s)", condition, error)
                     value = False
                 active_stack.append(value)
             elif directive.startswith("else"):

@@ -175,6 +175,11 @@ class Interpreter:
         #: between the two orders expose an order dependence (data race)
         self.reverse_parallel = reverse_parallel
         self._steps = 0
+        #: per-block execution plans (see :func:`_compile_block`); keyed by
+        #: block identity, so the cache assumes the IR is not mutated while
+        #: this interpreter is alive — true for every harness here, which
+        #: builds a fresh Interpreter per (transformed) module
+        self._plans: Dict[Block, list] = {}
 
     # -- public entry points ---------------------------------------------------
 
@@ -224,20 +229,42 @@ class Interpreter:
 
     def exec_block(self, block: Block, env: Dict[Value, object],
                    ctx: _ExecContext):
-        """Generator executing a block; returns terminator operand values."""
-        for op in block.ops:
-            name = op.name
-            self._steps += 1
-            if self.max_steps is not None and self._steps > self.max_steps:
-                raise InterpreterError("interpreter step budget exceeded")
-            if name in (scf_d.YIELD, func_d.RETURN):
-                return [env[v] for v in op.operands]
-            if name == scf_d.CONDITION:
-                return [env[v] for v in op.operands]
-            handler = _SIMPLE.get(name)
-            if handler is not None:
-                handler(self, op, env, ctx)
+        """Generator executing a block; returns terminator operand values.
+
+        Blocks are compiled once into a plan of maximal straight-line
+        *runs* of regionless ops (each pre-resolved to its handler) plus
+        individual control-flow entries. Thread loops and ``scf.for``
+        bodies re-execute the same block many times, so the plan pays the
+        name-dispatch cost once per block instead of once per dynamic op —
+        this is what keeps ``tune --validate`` from spending its time in
+        dictionary lookups per interpreted scalar.
+        """
+        plan = self._plans.get(block)
+        if plan is None:
+            plan = self._plans[block] = _compile_block(block)
+        budget = self.max_steps
+        for kind, op, payload in plan:
+            if kind == _KIND_RUN:
+                if budget is None:
+                    for handler, run_op in payload:
+                        handler(self, run_op, env, ctx)
+                    self._steps += len(payload)
+                else:
+                    # exact per-op accounting: the budget must trip before
+                    # the op past the limit executes, as in the slow path
+                    for handler, run_op in payload:
+                        self._steps += 1
+                        if self._steps > budget:
+                            raise InterpreterError(
+                                "interpreter step budget exceeded")
+                        handler(self, run_op, env, ctx)
                 continue
+            self._steps += 1
+            if budget is not None and self._steps > budget:
+                raise InterpreterError("interpreter step budget exceeded")
+            if kind == _KIND_TERMINATOR:
+                return [env[v] for v in op.operands]
+            name = op.name
             if name == scf_d.FOR:
                 yield from self._exec_for(op, env, ctx)
             elif name == scf_d.IF:
@@ -603,6 +630,42 @@ for _name, _fn in _MATH_UNARY.items():
     _SIMPLE[_name] = _h_math_unary(_fn)
 for _name, _fn in _MATH_BINARY.items():
     _SIMPLE[_name] = _h_math_binary(_fn)
+
+
+# -- block plans ---------------------------------------------------------------
+
+#: plan entry kinds: a run of pre-resolved simple handlers, a block
+#: terminator (its operand values are the block's results), or a single
+#: control-flow op dispatched by name as before
+_KIND_RUN = 0
+_KIND_TERMINATOR = 1
+_KIND_CONTROL = 2
+
+_TERMINATORS = (scf_d.YIELD, func_d.RETURN, scf_d.CONDITION)
+
+
+def _compile_block(block: Block) -> list:
+    """Segment a block into (kind, op, payload) plan entries.
+
+    Consecutive regionless ops become one ``_KIND_RUN`` entry whose
+    payload is a list of ``(handler, op)`` pairs; everything else gets its
+    own entry and is interpreted exactly as the un-compiled loop did.
+    """
+    plan: list = []
+    run: Optional[list] = None
+    for op in block.ops:
+        handler = _SIMPLE.get(op.name)
+        if handler is not None:
+            if run is None:
+                run = []
+                plan.append((_KIND_RUN, None, run))
+            run.append((handler, op))
+            continue
+        run = None
+        kind = _KIND_TERMINATOR if op.name in _TERMINATORS \
+            else _KIND_CONTROL
+        plan.append((kind, op, None))
+    return plan
 
 
 def run_module(module: Module, func_name: str, args: Sequence[object],

@@ -174,11 +174,16 @@ class Operation:
                 self.set_operand(i, mapping[operand])
 
     def drop_all_operand_uses(self) -> None:
+        # each (owner, index) pair occurs at most once in a use list (see
+        # set_operand), so delete-first-match suffices; this runs once per
+        # erased op per operand, and most SSA values have few uses, so the
+        # early exit beats rebuilding the list
         for i, operand in enumerate(self._operands):
-            operand.uses = [
-                u for u in operand.uses
-                if not (u.owner is self and u.index == i)
-            ]
+            uses = operand.uses
+            for j, use in enumerate(uses):
+                if use.owner is self and use.index == i:
+                    del uses[j]
+                    break
         self._operands = []
 
     # -- results -----------------------------------------------------------

@@ -312,6 +312,68 @@ class Program:
             runtime.tracer.kernel_seconds += timing.time_seconds
         return timing
 
+    def model_launch_seconds(self, kernel: str, block,
+                             grids) -> List[float]:
+        """Modeled seconds for many launches of one kernel × block shape.
+
+        Produces exactly ``[self.model_launch(kernel, g, block)
+        .time_seconds for g in grids]`` — same floats, same tuning side
+        effects, same failure points — but with one wrapper lookup and
+        one vectorized grid-size evaluation for the whole group instead
+        of a full walk per launch. This is the composite-modeling hot
+        path of :func:`repro.benchsuite.base.simulate_composite`.
+        """
+        from .simulator.model import KernelModel, block_counts
+        from .transforms.coarsen import block_parallels
+        block = _as_dims(block)
+        grids = [_as_dims(g) for g in grids]
+        if not grids:
+            return []
+        wrapper_name = self.generator.get_launch_wrapper(
+            kernel, len(grids[0]), block)
+        if wrapper_name not in self._cleaned:
+            self._run_cleanup(self.tier != "clang")
+            self._cleaned.add(wrapper_name)
+        if self.tier == "polygeist" and wrapper_name not in self._tuned:
+            self._tune(wrapper_name, grids[0])
+        elif self.tier == "polygeist-heuristic" and \
+                wrapper_name not in self._tuned:
+            self._tune_heuristic(wrapper_name)
+        f = self.module.func(wrapper_name)
+        wrappers = polygeist.find_gpu_wrappers(f)
+        if not wrappers:
+            raise InvalidLaunch("no GPU wrapper in %s" % wrapper_name)
+        if not hasattr(self, "_model_cache"):
+            self._model_cache = {}
+        envs = [dict(zip(f.body_block().args[:len(grid)], grid))
+                for grid in grids]
+        loops = block_parallels(wrappers[0])
+        with obs_tracer.span("model.launch_group", category="simulator",
+                             launches=len(envs)) as span:
+            loop_blocks = [block_counts(loop, envs) for loop in loops]
+            models = []
+            for loop in loops:
+                key = loop.stable_uid()
+                model = self._model_cache.get(key)
+                if model is None:
+                    model = KernelModel(loop, self.arch)
+                    self._model_cache[key] = model
+                models.append(model)
+            seconds = []
+            for position in range(len(envs)):
+                # same accumulation grouping as model_wrapper_launch
+                total_time = 0.0
+                for blocks_per_env, model in zip(loop_blocks, models):
+                    blocks = blocks_per_env[position]
+                    if blocks is None:
+                        raise InvalidLaunch("cannot evaluate grid size "
+                                            "for modeling")
+                    if blocks > 0:
+                        total_time += model.time_seconds_for(blocks)
+                seconds.append(total_time)
+            span.set(seconds=sum(seconds))
+        return seconds
+
     def _tune_heuristic(self, wrapper_name: str) -> None:
         """Apply the static heuristic (SVIII-A future work) in place."""
         from .autotune import heuristic_tune

@@ -28,15 +28,15 @@ of comparisons (which configuration wins, where cliffs fall) is.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis import kernel_statistics, shared_bytes_per_block
 from ..analysis.uniformity import depends_on_values
 from ..dialects import arith, scf
 from ..ir import Operation, OpResult, Value
 from ..obs import tracer as obs_tracer
-from ..targets import (GPUArchitecture, Occupancy, compute_occupancy,
-                       estimate_registers)
+from ..targets import (GPUArchitecture, LANE_WARP_WIDTH, Occupancy,
+                       compute_occupancy, estimate_registers)
 from .coalescing import analyze_coalescing, analyze_shared_conflicts
 from .metrics import KernelMetrics
 
@@ -63,6 +63,23 @@ class InvalidLaunch(ValueError):
     """The kernel cannot launch on this architecture at all."""
 
 
+def use_scalar_model() -> bool:
+    """True when the scalar reference path is forced (or numpy missing).
+
+    ``REPRO_SCALAR_MODEL=1`` pins every consumer (TDO scoring, composite
+    modeling) to the one-launch-at-a-time reference implementation — the
+    equivalence suite diffs the two paths through this switch.
+    """
+    import os
+    if os.environ.get("REPRO_SCALAR_MODEL", "") not in ("", "0"):
+        return True
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return True
+    return False
+
+
 @dataclass
 class LaunchTiming:
     """Modeled execution of one block-level parallel loop."""
@@ -73,10 +90,127 @@ class LaunchTiming:
     breakdown: Dict[str, float] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class LaunchFeatures:
+    """Everything the timing formula needs that does NOT depend on the
+    launch's block count.
+
+    Extracted once per :class:`KernelModel` so the scalar reference path
+    and :class:`~repro.simulator.batch.BatchedKernelModel` consume the
+    *same* per-model scalars — the equivalence between the two paths then
+    reduces to the (identically-grouped) arithmetic over ``num_blocks``.
+    """
+
+    # compute pipeline
+    compute_cycles_per_thread: float
+    compute_cycles_per_block: float
+    compute_util: float
+    #: lane-normalized active parallelism (32-thread warp equivalents)
+    active_warps: float
+    # global-memory pipeline (all per-block quantities)
+    read_bytes: float           #: transferred (transaction) read bytes
+    write_bytes: float          #: transferred (transaction) write bytes
+    useful_read: float          #: bytes the SM actually requested
+    useful_write: float
+    read_requests: float
+    write_requests: float
+    rw_bytes: float             #: read_bytes + write_bytes, summed once
+    inflight_bytes_per_sm: float
+    dram_latency_seconds: float
+    peak_bandwidth: float
+    # shared-memory pipeline
+    shared_bytes: float         #: per block
+    shared_bw_per_sm: float
+    bank_conflicts: float
+    lds_offloaded: bool
+    lds_offload_penalty: float
+    # latency floor
+    block_latency_cycles: float
+    wave_divisor: int           #: max(1, blocks_per_sm * num_sms)
+    # machine scalars
+    clock: float
+    num_sms: int
+    blocks_per_sm: int
+
+
+@dataclass(frozen=True)
+class LaunchTerms:
+    """The intermediate pipeline terms of one scored launch."""
+
+    compute_seconds: float
+    memory_seconds: float
+    shared_seconds: float
+    latency_floor: float
+    busy: float
+    time_seconds: float
+
+
+def evaluate_launch(f: LaunchFeatures, num_blocks: int) -> LaunchTerms:
+    """The scalar reference evaluation of the timing formula.
+
+    :class:`~repro.simulator.batch.BatchedKernelModel` mirrors this
+    function expression-for-expression (same operand grouping), which is
+    what makes the batched times bit-identical — keep the two in sync.
+    """
+    sms_used = min(f.num_sms, num_blocks)
+    compute_seconds = (f.compute_cycles_per_block * num_blocks /
+                       (sms_used * f.clock * f.compute_util))
+
+    total_bytes = f.rw_bytes * num_blocks
+    achievable_bw = sms_used * f.inflight_bytes_per_sm / \
+        f.dram_latency_seconds
+    achieved_bw = min(f.peak_bandwidth, achievable_bw)
+    memory_seconds = total_bytes / achieved_bw if total_bytes else 0.0
+
+    if f.lds_offloaded:
+        # demoted to global memory: both slower and bandwidth-consuming
+        shared_seconds = (f.shared_bytes * num_blocks *
+                          f.lds_offload_penalty / achieved_bw)
+        total_bytes += f.shared_bytes * num_blocks
+        memory_seconds = total_bytes / achieved_bw
+    else:
+        shared_seconds = (f.shared_bytes * num_blocks *
+                          f.bank_conflicts /
+                          (sms_used * f.shared_bw_per_sm))
+
+    waves = -(-num_blocks // f.wave_divisor)
+    latency_floor = waves * f.block_latency_cycles / f.clock
+
+    # compute / global-memory / shared-memory pipelines overlap, but
+    # imperfectly: the dominant one sets the pace and the others leak
+    # through (issue slots, LSU contention). The per-block dependence
+    # chain is a separate lower bound.
+    work_terms = (compute_seconds, memory_seconds, shared_seconds)
+    dominant = max(work_terms)
+    busy = dominant + OVERLAP_LEAK * (sum(work_terms) - dominant)
+    busy = max(busy, latency_floor)
+    time = busy + LAUNCH_OVERHEAD
+    return LaunchTerms(compute_seconds, memory_seconds, shared_seconds,
+                       latency_floor, busy, time)
+
+
 def _coarsen_totals(parallel: Operation) -> int:
+    """Combined coarsening factor recorded on a loop's history attribute.
+
+    Entries look like ``"thread:dim0:x4"`` (see
+    :mod:`repro.transforms.unroll_interleave`); anything else is a sign of
+    attribute corruption and is reported as :class:`InvalidLaunch` naming
+    the offending entry instead of dying with a bare ``IndexError`` deep
+    inside timing.
+    """
     total = 1
     for entry in parallel.attr("coarsen.history", []):
-        total *= int(entry.rsplit("x", 1)[1])
+        try:
+            factor = int(str(entry).rsplit("x", 1)[1])
+        except (IndexError, ValueError):
+            raise InvalidLaunch(
+                "malformed coarsen.history entry %r (expected "
+                "'<style>:dim<N>:x<factor>')" % (entry,)) from None
+        if factor <= 0:
+            raise InvalidLaunch(
+                "malformed coarsen.history entry %r: factor must be "
+                "positive" % (entry,))
+        total *= factor
     return total
 
 
@@ -157,11 +291,24 @@ class KernelModel:
         self.lane_efficiency = (self.threads_per_block /
                                 self.alloc_threads_per_block)
         self._timing_cache: Dict[int, LaunchTiming] = {}
+        self._features: Optional[LaunchFeatures] = None
 
     # -- derived quantities -------------------------------------------------
 
     def spills(self) -> bool:
         return self.registers.spills
+
+    def ensure_launchable(self) -> None:
+        """Raise :class:`InvalidLaunch` if no block fits on an SM.
+
+        The single home of the resource-exhaustion error: the scalar path
+        and the batched TDO wiring both raise through here, so the two
+        paths produce byte-identical failure reasons.
+        """
+        if self.occupancy.blocks_per_sm == 0:
+            raise InvalidLaunch(
+                "kernel exceeds %s resources (limited by %s)" %
+                (self.arch.name, self.occupancy.limiter))
 
     # -- timing ------------------------------------------------------------------
 
@@ -195,17 +342,20 @@ class KernelModel:
                              blocks=num_blocks):
             return self._compute_launch_inner(num_blocks)
 
-    def _compute_launch_inner(self, num_blocks: int) -> LaunchTiming:
+    def features(self) -> LaunchFeatures:
+        """The launch-count-independent scalars of this kernel, cached.
+
+        This is the data :class:`~repro.simulator.batch.BatchedKernelModel`
+        stacks into arrays; the scalar path consumes the same instance so
+        the two can only disagree in the ``num_blocks`` arithmetic.
+        """
+        if self._features is None:
+            self._features = self._compute_features()
+        return self._features
+
+    def _compute_features(self) -> LaunchFeatures:
         arch = self.arch
         occupancy = self.occupancy
-        if num_blocks <= 0:
-            metrics = KernelMetrics()
-            return LaunchTiming(0.0, occupancy, metrics, {})
-        if occupancy.blocks_per_sm == 0:
-            raise InvalidLaunch(
-                "kernel exceeds %s resources (limited by %s)" %
-                (arch.name, occupancy.limiter))
-
         T = self.threads_per_block
         stats = self.stats
         clock = arch.clock_ghz * 1e9
@@ -232,17 +382,14 @@ class KernelModel:
                                     self.lane_efficiency)
 
         # how well can arithmetic latency be hidden? Parallelism is
-        # lane-normalized (32-thread warp equivalents) so 64-wide AMD
-        # wavefronts are not undercounted: they issue per-lane
-        active_warps = occupancy.active_threads / 32.0
+        # lane-normalized (32-thread warp equivalents, see
+        # repro.targets.LANE_WARP_WIDTH) so 64-wide AMD wavefronts are not
+        # undercounted: they issue per-lane
+        active_warps = occupancy.active_threads / LANE_WARP_WIDTH
         ilp = BASE_ILP * (1.0 + 0.5 * (self.coarsen_total - 1) ** 0.5)
         compute_util = min(1.0, active_warps * ilp / (
             COMPUTE_LATENCY_WARPS * max(1.0, lanes32 / arch.warp_size)))
         compute_util = max(compute_util, 0.05)
-
-        sms_used = min(arch.num_sms, num_blocks)
-        compute_seconds = (compute_cycles_per_block * num_blocks /
-                           (sms_used * clock * compute_util))
 
         # -- global memory ------------------------------------------------------
         warps_per_block = self.alloc_threads_per_block // arch.warp_size
@@ -272,8 +419,6 @@ class KernelModel:
         read_bytes += atomic_bytes
         write_bytes += atomic_bytes
 
-        total_bytes = (read_bytes + write_bytes) * num_blocks
-
         # achieved bandwidth via Little's law: outstanding requests
         mlp = BASE_MLP * self.coarsen_total
         mem_ops_per_thread = max(stats.global_accesses, 1e-9)
@@ -281,26 +426,12 @@ class KernelModel:
         inflight_bytes_per_sm = (active_warps * mlp *
                                  arch.transaction_bytes)
         latency_seconds = DRAM_LATENCY_CYCLES / clock
-        achievable_bw = sms_used * inflight_bytes_per_sm / latency_seconds
-        peak = arch.peak_bandwidth_bytes()
-        achieved_bw = min(peak, achievable_bw)
-        memory_seconds = total_bytes / achieved_bw if total_bytes else 0.0
 
         # -- shared memory --------------------------------------------------------
         shared_accesses_per_block = stats.shared_accesses * T
         shared_bytes = shared_accesses_per_block * SHARED_BANK_BYTES
         shared_bw_per_sm = (arch.shared_banks * SHARED_BANK_BYTES * clock *
                             max(self.lane_efficiency, 0.1))
-        if self.lds_offloaded:
-            # demoted to global memory: both slower and bandwidth-consuming
-            shared_seconds = (shared_bytes * num_blocks *
-                              arch.lds_offload_penalty / achieved_bw)
-            total_bytes += shared_bytes * num_blocks
-            memory_seconds = total_bytes / achieved_bw
-        else:
-            shared_seconds = (shared_bytes * num_blocks *
-                              self.bank_conflicts /
-                              (sms_used * shared_bw_per_sm))
 
         # -- latency floor ----------------------------------------------------------
         issue_cycles = compute_cycles_per_thread + stats.global_accesses + \
@@ -315,33 +446,64 @@ class KernelModel:
             stats.global_accesses * DRAM_LATENCY_CYCLES / mlp +
             stats.shared_accesses * shared_latency / mlp)
         block_latency_cycles = issue_cycles + dependent_stalls
-        waves = -(-num_blocks // max(1, occupancy.blocks_per_sm *
-                                     arch.num_sms))
-        latency_seconds_floor = waves * block_latency_cycles / clock
 
-        # compute / global-memory / shared-memory pipelines overlap, but
-        # imperfectly: the dominant one sets the pace and the others leak
-        # through (issue slots, LSU contention). The per-block dependence
-        # chain is a separate lower bound.
-        work_terms = (compute_seconds, memory_seconds, shared_seconds)
-        dominant = max(work_terms)
-        busy = dominant + OVERLAP_LEAK * (sum(work_terms) - dominant)
-        busy = max(busy, latency_seconds_floor)
-        time = busy + LAUNCH_OVERHEAD
+        return LaunchFeatures(
+            compute_cycles_per_thread=compute_cycles_per_thread,
+            compute_cycles_per_block=compute_cycles_per_block,
+            compute_util=compute_util,
+            active_warps=active_warps,
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+            useful_read=useful_read,
+            useful_write=useful_write,
+            read_requests=read_requests,
+            write_requests=write_requests,
+            rw_bytes=read_bytes + write_bytes,
+            inflight_bytes_per_sm=inflight_bytes_per_sm,
+            dram_latency_seconds=latency_seconds,
+            peak_bandwidth=arch.peak_bandwidth_bytes(),
+            shared_bytes=shared_bytes,
+            shared_bw_per_sm=shared_bw_per_sm,
+            bank_conflicts=self.bank_conflicts,
+            lds_offloaded=self.lds_offloaded,
+            lds_offload_penalty=arch.lds_offload_penalty,
+            block_latency_cycles=block_latency_cycles,
+            wave_divisor=max(1, occupancy.blocks_per_sm * arch.num_sms),
+            clock=clock,
+            num_sms=arch.num_sms,
+            blocks_per_sm=occupancy.blocks_per_sm,
+        )
+
+    def _compute_launch_inner(self, num_blocks: int) -> LaunchTiming:
+        occupancy = self.occupancy
+        if num_blocks <= 0:
+            metrics = KernelMetrics()
+            return LaunchTiming(0.0, occupancy, metrics, {})
+        self.ensure_launchable()
+
+        T = self.threads_per_block
+        stats = self.stats
+        f = self.features()
+        terms = evaluate_launch(f, num_blocks)
+        busy = terms.busy
 
         # -- metrics -----------------------------------------------------------------
+        # The analytical model has no cache-hit modeling, so every L2→L1
+        # transaction reaches DRAM: DRAM traffic equals the *transferred*
+        # (transaction-granular) bytes, which for uncoalesced access is ≥
+        # the useful bytes — the same invariant trace.py's counters obey.
         metrics = KernelMetrics(
-            time_seconds=time,
-            lsu_utilization=min(1.0, memory_seconds / busy
+            time_seconds=terms.time_seconds,
+            lsu_utilization=min(1.0, terms.memory_seconds / busy
                                 if busy else 0.0),
-            fma_utilization=min(1.0, compute_seconds / busy
+            fma_utilization=min(1.0, terms.compute_seconds / busy
                                 if busy else 0.0),
-            l2_to_l1_read_bytes=read_bytes * num_blocks,
-            l1_to_l2_write_bytes=write_bytes * num_blocks,
-            dram_read_bytes=useful_read * num_blocks,
-            dram_write_bytes=useful_write * num_blocks,
-            l1_to_sm_read_requests=read_requests * num_blocks,
-            sm_to_l1_write_requests=write_requests * num_blocks,
+            l2_to_l1_read_bytes=f.read_bytes * num_blocks,
+            l1_to_l2_write_bytes=f.write_bytes * num_blocks,
+            dram_read_bytes=f.read_bytes * num_blocks,
+            dram_write_bytes=f.write_bytes * num_blocks,
+            l1_to_sm_read_requests=f.read_requests * num_blocks,
+            sm_to_l1_write_requests=f.write_requests * num_blocks,
             shmem_to_sm_read_requests=stats.loads_shared * T * num_blocks,
             sm_to_shmem_write_requests=stats.stores_shared * T * num_blocks,
             occupancy=occupancy.occupancy,
@@ -351,13 +513,14 @@ class KernelModel:
             num_blocks=num_blocks,
         )
         breakdown = {
-            "compute": compute_seconds,
-            "memory": memory_seconds,
-            "shared": shared_seconds,
-            "latency": latency_seconds_floor,
+            "compute": terms.compute_seconds,
+            "memory": terms.memory_seconds,
+            "shared": terms.shared_seconds,
+            "latency": terms.latency_floor,
             "overhead": LAUNCH_OVERHEAD,
         }
-        return LaunchTiming(time, occupancy, metrics, breakdown)
+        return LaunchTiming(terms.time_seconds, occupancy, metrics,
+                            breakdown)
 
 
 # -- wrapper-level modeling -----------------------------------------------------------
@@ -405,6 +568,117 @@ def block_count(block_parallel: Operation,
             return None
         total *= max(0, ub_value - lb_value)
     return total
+
+
+class _VecFallback(Exception):
+    """Vectorized index evaluation hit a case only the scalar path handles
+    (per-env zero divisor, missing leaf binding)."""
+
+
+def _eval_index_vec(value: Value, cols: Dict[Value, object]):
+    """Vectorized :func:`_eval_index`: leaves bind int64 column arrays.
+
+    Returns an int64 array (or plain int for env-independent
+    subexpressions), ``None`` for inexpressible values — mirroring the
+    scalar evaluator — and raises :class:`_VecFallback` where per-env
+    divergence (a zero divisor in *some* envs) needs the scalar path.
+    """
+    import numpy as np
+    if value in cols:
+        return cols[value]
+    if not isinstance(value, OpResult):
+        return None
+    op = value.owner
+    if op.name == arith.CONSTANT:
+        return int(op.attr("value"))
+    operands = [_eval_index_vec(v, cols) for v in op.operands]
+    if any(v is None for v in operands):
+        return None
+    if op.name == "arith.index_cast":
+        return operands[0]
+    if len(operands) != 2:
+        return None
+    a, b = operands
+    scalar = isinstance(a, int) and isinstance(b, int)
+    if op.name == "arith.addi":
+        return a + b
+    if op.name == "arith.subi":
+        return a - b
+    if op.name == "arith.muli":
+        return a * b
+    if op.name in ("arith.divsi", "arith.remsi"):
+        if isinstance(b, int):
+            if b == 0:
+                return None
+            return a // b if op.name == "arith.divsi" else a % b
+        if np.any(b == 0):
+            raise _VecFallback
+        return a // b if op.name == "arith.divsi" else a % b
+    if op.name == "arith.minsi":
+        return min(a, b) if scalar else np.minimum(a, b)
+    if op.name == "arith.maxsi":
+        return max(a, b) if scalar else np.maximum(a, b)
+    return None
+
+
+def env_columns(envs: Sequence[Dict[Value, int]]):
+    """Stack launch environments into per-key int64 columns.
+
+    Returns ``None`` when the envs cannot be stacked (fewer than two,
+    ragged key sets, or numpy unavailable) — callers fall back to the
+    scalar :func:`block_count`. Computing the columns once and passing
+    them to every :func:`block_counts` call over the same envs avoids
+    re-validating and re-stacking per (loop, alternative).
+    """
+    if len(envs) < 2:
+        return None
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    keys = list(envs[0])
+    if any(len(env) != len(keys) or any(k not in env for k in keys)
+           for env in envs[1:]):
+        return None
+    return {key: np.array([env[key] for env in envs], dtype=np.int64)
+            for key in keys}
+
+
+def block_counts(block_parallel: Operation,
+                 envs: Sequence[Dict[Value, int]],
+                 cols=None) -> List[Optional[int]]:
+    """:func:`block_count` over many launch environments at once.
+
+    One evaluation of the bound expressions over stacked int64 columns
+    replaces ``len(envs)`` recursive walks; any env set the vectorized
+    evaluator cannot express (ragged keys, env-dependent zero divisors,
+    numpy unavailable) falls back to per-env :func:`block_count`, so the
+    result is always elementwise-identical to the scalar path.
+
+    ``cols`` may carry :func:`env_columns`'s result for these same envs,
+    letting repeat callers pay the stacking cost once.
+    """
+    if len(envs) < 2:
+        return [block_count(block_parallel, env) for env in envs]
+    if cols is None:
+        cols = env_columns(envs)
+        if cols is None:
+            return [block_count(block_parallel, env) for env in envs]
+    import numpy as np
+    total = 1
+    try:
+        for lb, ub in zip(scf.parallel_lower_bounds(block_parallel),
+                          scf.parallel_upper_bounds(block_parallel)):
+            lb_value = _eval_index_vec(lb, cols)
+            ub_value = _eval_index_vec(ub, cols)
+            if lb_value is None or ub_value is None:
+                return [None] * len(envs)
+            total = total * np.maximum(0, np.asarray(ub_value - lb_value,
+                                                     dtype=np.int64))
+    except _VecFallback:
+        return [block_count(block_parallel, env) for env in envs]
+    return np.broadcast_to(np.asarray(total, dtype=np.int64),
+                           (len(envs),)).tolist()
 
 
 def model_wrapper_launch(wrapper: Operation, arch: GPUArchitecture,

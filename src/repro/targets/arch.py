@@ -12,6 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+#: Latency-hiding parallelism is measured in 32-thread warp EQUIVALENTS
+#: everywhere (simulator model and coarsening heuristic alike): a 64-wide
+#: AMD wavefront issues per-lane, so it hides as much latency as two
+#: 32-thread warps. Normalize ``active_threads`` by THIS constant — never
+#: by ``arch.warp_size`` — or wavefront-64 targets (MI210, RX6800) would
+#: see half the parallelism they really have.
+LANE_WARP_WIDTH = 32.0
+
 
 @dataclass(frozen=True)
 class GPUArchitecture:

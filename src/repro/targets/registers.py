@@ -13,8 +13,9 @@ factor and eventually crosses the spill threshold.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..ir import Operation
 from .arch import GPUArchitecture
@@ -22,6 +23,35 @@ from .lowering import Linearized, _value_registers, linearize_thread_body
 
 #: registers every thread needs regardless of the kernel body
 BASE_REGISTERS = 10
+
+#: active memo for :func:`estimate_registers`, keyed by (op, arch name);
+#: ``None`` outside :func:`register_estimate_cache` scopes
+_ESTIMATE_CACHE: Optional[Dict[Tuple[Operation, str],
+                               "RegisterEstimate"]] = None
+
+
+@contextmanager
+def register_estimate_cache():
+    """Memoize :func:`estimate_registers` by operation identity.
+
+    Linearizing a thread body dominates the estimate's cost, and one
+    tuning run asks the same question twice per alternative: once in the
+    spill filter, once when the timing model characterizes the survivor.
+    The cache is only sound while the analyzed IR is not mutated, so it
+    is scoped: entries live for the dynamic extent of the ``with`` block
+    (keys hold strong references, so operation identity cannot be
+    recycled underneath the cache). Nested scopes share the outermost
+    cache.
+    """
+    global _ESTIMATE_CACHE
+    outer = _ESTIMATE_CACHE
+    if outer is None:
+        _ESTIMATE_CACHE = {}
+    try:
+        yield
+    finally:
+        if outer is None:
+            _ESTIMATE_CACHE = None
 
 
 @dataclass
@@ -42,6 +72,12 @@ def estimate_registers(thread_parallel: Operation,
                        linearized: Optional[Linearized] = None
                        ) -> RegisterEstimate:
     """Estimate registers/thread for a thread loop on ``arch``."""
+    cache = _ESTIMATE_CACHE if linearized is None else None
+    if cache is not None:
+        key = (thread_parallel, arch.name)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     lin = linearized or linearize_thread_body(thread_parallel)
     events = []  # (index, +units) and (index, -units)
     for value, definition in lin.def_index.items():
@@ -62,6 +98,9 @@ def estimate_registers(thread_parallel: Operation,
     registers = max_live + BASE_REGISTERS
     limit = arch.max_registers_per_thread
     spilled = max(0, registers - limit)
-    return RegisterEstimate(registers_per_thread=min(registers, limit),
-                            spilled_registers=spilled,
-                            max_live=max_live)
+    estimate = RegisterEstimate(registers_per_thread=min(registers, limit),
+                                spilled_registers=spilled,
+                                max_live=max_live)
+    if cache is not None:
+        cache[key] = estimate
+    return estimate

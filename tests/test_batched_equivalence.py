@@ -1,0 +1,177 @@
+"""Scalar vs batched model equivalence, benchsuite-wide.
+
+The batched numpy scoring path (``repro.simulator.batch``) claims bit-
+identical results to the scalar reference (``REPRO_SCALAR_MODEL=1``).
+These tests hold it to that claim with ``==`` comparisons — no
+tolerances — across every benchsuite kernel on both a 32-wide (A100) and
+a 64-wide (MI210) target, plus a hypothesis property sweep over random
+feature vectors.
+"""
+
+import os
+
+import pytest
+
+from repro.autotune import paper_sweep_configs
+from repro.engine import TuningEngine, default_engine, set_default_engine
+from repro.targets import A100, MI210
+
+#: a small factor grid keeps the sweep fast while still exercising the
+#: multi-alternative scoring the batched path exists for
+SMALL_CONFIGS = paper_sweep_configs((1, 2, 4), (1, 2, 4))
+
+
+def _run_mode(scalar, fn):
+    """Run ``fn`` with a cold tuning engine, forcing the scalar model."""
+    saved = os.environ.get("REPRO_SCALAR_MODEL")
+    os.environ["REPRO_SCALAR_MODEL"] = "1" if scalar else "0"
+    set_default_engine(TuningEngine())
+    try:
+        result = fn()
+        selections = {
+            key: entry.selected_config
+            for key, entry in default_engine().cache._memory.items()
+        }
+        return result, selections
+    finally:
+        set_default_engine(None)
+        if saved is None:
+            os.environ.pop("REPRO_SCALAR_MODEL", None)
+        else:
+            os.environ["REPRO_SCALAR_MODEL"] = saved
+
+
+@pytest.mark.parametrize("arch", [A100, MI210], ids=lambda a: a.name)
+def test_benchsuite_composites_identical(arch):
+    """Every benchmark's tuned composite time matches == across paths."""
+    from repro.benchsuite.experiments import fig16_data
+
+    def run():
+        return fig16_data(archs=[arch],
+                          tiers=("clang", "polygeist-noopt", "polygeist"),
+                          configs=SMALL_CONFIGS)
+
+    scalar, scalar_selected = _run_mode(True, run)
+    batched, batched_selected = _run_mode(False, run)
+    assert scalar == batched
+    # the tuner must also have picked the same winning coarsening config
+    # for every (benchmark, wrapper, grids) tuning decision
+    assert scalar_selected == batched_selected
+    assert scalar_selected  # the sweep actually tuned something
+
+
+@pytest.mark.parametrize("arch", [A100, MI210], ids=lambda a: a.name)
+def test_per_config_seconds_identical(arch):
+    """Every candidate config's modeled seconds match ==, not just winners."""
+    from repro.benchsuite.experiments import fig13_data
+
+    def run():
+        out = []
+        for sweep in fig13_data(arch=arch,
+                                benchmarks=["gaussian", "lud", "nw"],
+                                configs=SMALL_CONFIGS):
+            out.append((sweep.benchmark, sweep.kernel, tuple(sweep.block),
+                        tuple((r.desc, r.seconds, r.valid, r.reason)
+                              for r in sweep.results)))
+        return out
+
+    scalar, _ = _run_mode(True, run)
+    batched, _ = _run_mode(False, run)
+    assert scalar == batched
+
+
+def test_scalar_env_forces_reference_path(monkeypatch):
+    from repro.simulator.model import use_scalar_model
+
+    monkeypatch.setenv("REPRO_SCALAR_MODEL", "1")
+    assert use_scalar_model()
+    monkeypatch.setenv("REPRO_SCALAR_MODEL", "0")
+    assert not use_scalar_model()
+    monkeypatch.delenv("REPRO_SCALAR_MODEL")
+    assert not use_scalar_model()
+
+
+# -- property test over random feature vectors --------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_pos_float = st.floats(min_value=1e-12, max_value=1e12,
+                       allow_nan=False, allow_infinity=False)
+_frac = st.floats(min_value=1e-3, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class _StubModel:
+    """Quacks like KernelModel for BatchedKernelModel: features + check."""
+
+    def __init__(self, features):
+        self._features = features
+
+    def features(self):
+        return self._features
+
+    def ensure_launchable(self):
+        raise AssertionError("stub models are always launchable")
+
+
+@st.composite
+def _features(draw):
+    from repro.simulator.model import LaunchFeatures
+
+    num_sms = draw(st.integers(min_value=1, max_value=256))
+    blocks_per_sm = draw(st.integers(min_value=1, max_value=32))
+    return LaunchFeatures(
+        compute_cycles_per_thread=draw(_pos_float),
+        compute_cycles_per_block=draw(_pos_float),
+        compute_util=draw(_frac),
+        active_warps=draw(_pos_float),
+        read_bytes=draw(_pos_float),
+        write_bytes=draw(_pos_float),
+        useful_read=draw(_pos_float),
+        useful_write=draw(_pos_float),
+        read_requests=draw(_pos_float),
+        write_requests=draw(_pos_float),
+        rw_bytes=draw(st.one_of(st.just(0.0), _pos_float)),
+        inflight_bytes_per_sm=draw(_pos_float),
+        dram_latency_seconds=draw(_pos_float),
+        peak_bandwidth=draw(_pos_float),
+        shared_bytes=draw(st.one_of(st.just(0.0), _pos_float)),
+        shared_bw_per_sm=draw(_pos_float),
+        bank_conflicts=draw(st.floats(min_value=1.0, max_value=32.0,
+                                      allow_nan=False)),
+        lds_offloaded=draw(st.booleans()),
+        lds_offload_penalty=draw(st.floats(min_value=1.0, max_value=8.0,
+                                           allow_nan=False)),
+        block_latency_cycles=draw(_pos_float),
+        wave_divisor=max(1, blocks_per_sm * num_sms),
+        clock=draw(_pos_float),
+        num_sms=num_sms,
+        blocks_per_sm=blocks_per_sm,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(_features(),
+                          st.integers(min_value=0, max_value=10**7)),
+                min_size=1, max_size=16))
+def test_batched_matches_scalar_on_random_features(cases):
+    pytest.importorskip("numpy")
+    from repro.simulator.batch import BatchedKernelModel
+    from repro.simulator.model import evaluate_launch
+
+    batch = BatchedKernelModel()
+    rows = []
+    counts = []
+    expected = []
+    for features, num_blocks in cases:
+        rows.append(batch.add_model(_StubModel(features)))
+        counts.append(num_blocks)
+        if num_blocks <= 0:
+            expected.append(0.0)
+        else:
+            terms = evaluate_launch(features, num_blocks)
+            expected.append(terms.time_seconds)
+    got = batch.times(rows, counts).tolist()
+    assert got == expected

@@ -98,6 +98,33 @@ class TestPreprocessor:
         out = preprocess("#define V 2\n#if V > 1\nint a;\n#endif")
         assert "int a" in out
 
+    def test_hash_if_unparseable_condition_is_false(self):
+        # C-only syntax (unexpanded identifier, suffixed literal) must
+        # deactivate the region, not crash the preprocessor
+        out = preprocess(
+            "#if UNDEFINED_MACRO + 1\nint skipped;\n#endif\nint kept;")
+        assert "skipped" not in out
+        assert "int kept" in out
+        out = preprocess("#if 1UL\nint a;\n#endif\nint b;")
+        assert "int a" not in out
+        assert "int b" in out
+
+    def test_hash_if_fatal_errors_propagate(self):
+        # only evaluation errors are treated as "condition is false";
+        # interpreter-level failures must escape the narrowed handler
+        import repro.frontend.preprocessor as pp
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        saved = pp._expand
+        pp._expand = boom
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                preprocess("#if 1\nint a;\n#endif")
+        finally:
+            pp._expand = saved
+
 
 class TestParser:
     def test_kernel_signature(self):

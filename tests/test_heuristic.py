@@ -169,3 +169,36 @@ class TestHeuristicTier:
         program.launch("k", 16, 16, [data, out], runtime=runtime)
         np.testing.assert_array_equal(runtime.to_host(out), 2.0)
         assert program.heuristic_choices
+
+
+class TestLaneNormalization:
+    """LANE_WARP_WIDTH is hoisted to repro.targets: the timing model and
+    the heuristic must normalize active parallelism by the same 32-lane
+    unit, including on wavefront-64 hardware (MI210)."""
+
+    def test_model_and_heuristic_agree_on_mi210(self):
+        from repro.autotune.heuristic import lane_warps
+        from repro.simulator.model import KernelModel
+        from repro.targets import LANE_WARP_WIDTH
+
+        assert MI210.warp_size == 64
+        module, name, wrapper = build(SMALL_BLOCK, block=(256,))
+        loop = block_parallels(wrapper)[0]
+        model = KernelModel(loop, MI210)
+        features = model.features()
+        # the model's lane-normalized warp count...
+        assert features.active_warps == \
+            model.occupancy.active_threads / LANE_WARP_WIDTH
+        # ...is the same quantity the heuristic's deficit reasoning uses
+        assert features.active_warps == lane_warps(model.occupancy)
+        # and the divisor is the 32-lane unit, NOT the 64-wide wavefront
+        assert LANE_WARP_WIDTH == 32.0
+        assert features.active_warps == model.occupancy.active_threads / 32.0
+
+    def test_lane_constant_single_sourced(self):
+        import repro.autotune.heuristic as heuristic_mod
+        import repro.simulator.model as model_mod
+        import repro.targets as targets_mod
+
+        assert heuristic_mod.LANE_WARP_WIDTH is targets_mod.LANE_WARP_WIDTH
+        assert model_mod.LANE_WARP_WIDTH is targets_mod.LANE_WARP_WIDTH

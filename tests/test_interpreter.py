@@ -511,3 +511,80 @@ class TestReverseParallel:
         Interpreter(module, reverse_parallel=True).run_func(
             "main", [reverse])
         assert forward.array[0] != reverse.array[0]
+
+
+class TestBlockPlanFastPath:
+    """The interpreter compiles blocks into straight-line runs plus
+    control entries (see ``_compile_block``); the fast path must keep
+    results and step-budget semantics identical to per-op dispatch."""
+
+    def _arith_module(self, num_adds):
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((1,), INDEX),), ["out"])
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        v = c0
+        for _ in range(num_adds):
+            v = arith.addi(b, v, c1)
+        memref.store(b, v, f.body_block().arg(0), [c0])
+        func.return_(b)
+        verify_module(module)
+        return module
+
+    def test_straight_line_run_executes_correctly(self):
+        module = self._arith_module(10)
+        out = MemoryBuffer.for_type(MemRefType((1,), INDEX))
+        interp = Interpreter(module)
+        interp.run_func("main", [out])
+        assert out.array[0] == 10
+        # the whole body (constants, adds, store, return) is one plan;
+        # the straight-line ops collapse into a single run entry
+        from repro.interpreter.interp import _KIND_RUN
+        plans = list(interp._plans.values())
+        assert plans, "exec_block must have compiled a plan"
+        kinds = [entry[0] for entry in plans[0]]
+        assert kinds.count(_KIND_RUN) == 1
+
+    def test_step_budget_counts_each_op_in_a_run(self):
+        module = self._arith_module(10)
+        # body has 2 constants + 10 adds + 1 store + 1 return = 14 steps
+        out = MemoryBuffer.for_type(MemRefType((1,), INDEX))
+        Interpreter(module, max_steps=14).run_func("main", [out])
+        assert out.array[0] == 10
+        for budget in (1, 5, 13):
+            out = MemoryBuffer.for_type(MemRefType((1,), INDEX))
+            with pytest.raises(InterpreterError, match="step budget"):
+                Interpreter(module, max_steps=budget).run_func(
+                    "main", [out])
+
+    def test_budget_trips_before_over_limit_op_executes(self):
+        # with budget 12 the store (step 13) must never run: the output
+        # buffer stays at its initial value
+        module = self._arith_module(10)
+        out = MemoryBuffer.for_type(MemRefType((1,), INDEX))
+        out.array[0] = -99
+        with pytest.raises(InterpreterError, match="step budget"):
+            Interpreter(module, max_steps=12).run_func("main", [out])
+        assert out.array[0] == -99
+
+    def test_plan_reused_across_loop_iterations(self):
+        # an scf.for body block is executed per iteration but compiled once
+        module = Module()
+        f, b = new_func(module, "main", (MemRefType((1,), INDEX),), ["out"])
+        c0 = arith.index_constant(b, 0)
+        c1 = arith.index_constant(b, 1)
+        c8 = arith.index_constant(b, 8)
+        loop = scf.for_(b, c0, c8, c1, iter_inits=[c0])
+        lb = Builder(loop.body_block())
+        acc = arith.addi(lb, loop.body_block().arg(1), c1)
+        scf.yield_(lb, [acc])
+        memref.store(b, loop.result(0), f.body_block().arg(0), [c0])
+        func.return_(b)
+        verify_module(module)
+        out = MemoryBuffer.for_type(MemRefType((1,), INDEX))
+        interp = Interpreter(module)
+        interp.run_func("main", [out])
+        assert out.array[0] == 8
+        # one plan for the function body, one for the loop body — not one
+        # per iteration
+        assert len(interp._plans) == 2

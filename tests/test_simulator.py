@@ -370,3 +370,71 @@ class TestBankConflicts:
 
         assert factor_for(32) == 32.0   # power-of-two row: worst case
         assert factor_for(33) == 1.0    # +1 padding: conflict free
+
+
+class TestMetricsBugfixes:
+    """Regressions for the Table II counter and history-attr fixes."""
+
+    def test_dram_counters_report_transferred_bytes(self):
+        """Uncoalesced loads: DRAM counters must carry *transferred*
+        (transaction) bytes — same as L2→L1 — not the smaller useful-byte
+        count the SM requested. The analytical model has no cache-hit
+        modeling, so the two levels agree by construction."""
+        module, name, wrapper = build(STRIDED)
+        model = KernelModel(block_parallels(wrapper)[0], A100)
+        features = model.features()
+        timing = model.time_launch(64)
+        metrics = timing.metrics
+        assert metrics.dram_read_bytes == metrics.l2_to_l1_read_bytes
+        assert metrics.dram_read_bytes == features.read_bytes * 64
+        # stride-32 f32 loads waste most of each 32 B transaction
+        assert metrics.dram_read_bytes > 4 * features.useful_read * 64
+
+    def test_coalesced_dram_equals_useful(self):
+        """Unit-stride f32: every transferred byte is useful."""
+        module, name, wrapper = build(COALESCED)
+        model = KernelModel(block_parallels(wrapper)[0], A100)
+        features = model.features()
+        assert features.read_bytes == features.useful_read
+
+    def test_malformed_coarsen_history_is_invalid_launch(self):
+        module, name, wrapper = build(COALESCED)
+        loop = block_parallels(wrapper)[0]
+        loop.attributes["coarsen.history"] = ["block:dim0:x2", "bogus"]
+        with pytest.raises(InvalidLaunch) as excinfo:
+            KernelModel(loop, A100)
+        assert "malformed coarsen.history entry" in str(excinfo.value)
+        assert "bogus" in str(excinfo.value)
+
+    def test_nonpositive_coarsen_factor_is_invalid_launch(self):
+        module, name, wrapper = build(COALESCED)
+        loop = block_parallels(wrapper)[0]
+        loop.attributes["coarsen.history"] = ["thread:dim0:x0"]
+        with pytest.raises(InvalidLaunch, match="factor must be positive"):
+            KernelModel(loop, A100)
+
+
+class TestBlockCountsVectorized:
+    def test_block_counts_matches_scalar(self):
+        from repro.simulator.model import block_count, block_counts
+
+        module, name, wrapper = build(COALESCED, grid_rank=1)
+        loop = block_parallels(wrapper)[0]
+        f = module.func(name)
+        args = f.body_block().args
+        envs = [dict(zip(args, [n] + [0] * (len(args) - 1)))
+                for n in (1, 7, 64, 1024, 4096)]
+        expected = [block_count(loop, env) for env in envs]
+        assert block_counts(loop, envs) == expected
+
+    def test_block_counts_ragged_envs_fall_back(self):
+        from repro.simulator.model import block_count, block_counts
+
+        module, name, wrapper = build(COALESCED, grid_rank=1)
+        loop = block_parallels(wrapper)[0]
+        f = module.func(name)
+        args = list(f.body_block().args)
+        envs = [dict(zip(args, [8] * len(args))),
+                {args[0]: 16}]  # ragged: missing keys
+        expected = [block_count(loop, env) for env in envs]
+        assert block_counts(loop, envs) == expected
