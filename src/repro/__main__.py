@@ -20,7 +20,13 @@ Commands mirror the Polygeist-GPU driver workflow:
 * ``sweep``     — run one figure's evaluation matrix (fig13/fig16/fig17/
   table2) sharded over crash-isolated worker processes, with per-job
   timeout, bounded retry, and ``--resume`` from a previous ``--json``
-  output.
+  output;
+* ``analyze``   — tune + model one benchmark with full observability and
+  report each kernel's roofline position, a named bottleneck verdict,
+  and why TDO's winner won (see ``docs/ANALYZE.md``);
+* ``check``     — diff two recorded runs (``BENCH_*.json`` or
+  ``sweep --json``) cell by cell and exit non-zero on regressions
+  beyond a noise band; exit 2 when the records are not comparable.
 
 ``tune --trace out.json`` records every compilation stage — parse, each
 cleanup pass, each pruning filter, each modeled alternative — as a Chrome
@@ -261,13 +267,58 @@ def cmd_trace(args) -> int:
     from .obs.export import summarize_trace_file
 
     try:
-        summary = summarize_trace_file(args.file, top=args.top)
+        summary = summarize_trace_file(args.file, top=args.top,
+                                       metrics=True)
     except (OSError, ValueError) as error:
         print("cannot summarize %s: %s" % (args.file, error),
               file=sys.stderr)
         return 1
     print(summary)
     return 0
+
+
+def cmd_analyze(args) -> int:
+    import json
+    import time
+
+    from .analysis.report import analyze_benchmark
+    from .autotune import paper_sweep_configs
+    from .benchsuite import BENCHMARKS
+    from .targets import arch_by_name
+
+    if args.bench not in BENCHMARKS:
+        print("unknown benchmark %r (have: %s)" %
+              (args.bench, ", ".join(sorted(BENCHMARKS))), file=sys.stderr)
+        return 1
+    configs = paper_sweep_configs(max_product=args.max_factor) \
+        if args.max_factor is not None else None
+    analysis = analyze_benchmark(args.bench, arch_by_name(args.arch),
+                                 tier=args.tier, size=args.size,
+                                 configs=configs)
+    analysis.provenance["created"] = \
+        time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(analysis.as_dict(), handle, indent=1)
+            handle.write("\n")
+        print("wrote %s" % args.json)
+    if args.markdown or not args.json:
+        print(analysis.to_markdown())
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .analysis.check import (CheckUsageError, check_files,
+                                 parse_noise_band)
+
+    try:
+        report = check_files(args.baseline, args.new,
+                             parse_noise_band(args.noise_band))
+    except CheckUsageError as error:
+        print("check refused: %s" % error, file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_cache(args) -> int:
@@ -367,11 +418,13 @@ def cmd_sweep(args) -> int:
     for key, error in sorted(outcome.failed.items()):
         print("  FAILED %s: %s" % (key, error), file=sys.stderr)
     if args.json:
+        import time
         write_sweep_json(args.json, outcome,
                          meta={"workers": args.workers,
                                "timeout": args.timeout,
                                "benchmarks": benchmarks,
-                               "max_factor": args.max_factor})
+                               "max_factor": args.max_factor},
+                         created=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
         print("wrote %s" % args.json)
     return 0 if outcome.data is not None else 1
 
@@ -536,6 +589,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     targets = sub.add_parser("targets", help="list GPU models")
     targets.set_defaults(fn=cmd_targets)
+
+    analyze = sub.add_parser(
+        "analyze", help="bottleneck attribution report for one benchmark")
+    analyze.add_argument("bench", help="benchsuite name (e.g. lud)")
+    analyze.add_argument("--arch", default="a100")
+    analyze.add_argument("--tier", default="polygeist",
+                         help="compilation tier to analyze "
+                              "(default polygeist)")
+    analyze.add_argument("--size", type=int, default=None,
+                         help="problem size (default: the model size)")
+    analyze.add_argument("--max-factor", type=int, default=None,
+                         help="bound the coarsening sweep to "
+                              "block*thread <= N (default: the paper set)")
+    analyze.add_argument("--json", metavar="FILE",
+                         help="write the full report as JSON")
+    analyze.add_argument("--markdown", action="store_true",
+                         help="print the markdown report (default unless "
+                              "--json is given)")
+    analyze.set_defaults(fn=cmd_analyze)
+
+    check = sub.add_parser(
+        "check", help="diff two bench/sweep records, fail on regressions")
+    check.add_argument("baseline", help="baseline BENCH_*.json or "
+                                        "sweep --json output")
+    check.add_argument("new", help="the record to gate")
+    check.add_argument("--noise-band", default="5%",
+                       help="relative slack before a slower cell counts "
+                            "as a regression, e.g. '5%%' or 0.05 "
+                            "(default 5%%)")
+    check.set_defaults(fn=cmd_check)
 
     trace = sub.add_parser("trace", help="summarize a recorded trace file")
     trace.add_argument("action", choices=("summarize",))

@@ -114,10 +114,13 @@ def run_model_bench(figure: str,
     scalar = recorder.measure("scalar", run, repeats=repeats,
                               env={"REPRO_SCALAR_MODEL": "1"})
     scalar_stages = stage_seconds()
-    recorder.measurements[-1].meta["stage_seconds"] = scalar_stages
+    # uniform measurement schema across figures: the key is always
+    # present, null when the producer bypasses the engine (fig13 calls
+    # the alternatives sweep directly, so no stage split exists)
+    recorder.measurements[-1].meta["stage_seconds"] = scalar_stages or None
     batched = recorder.measure("batched", run, repeats=repeats)
     batched_stages = stage_seconds()
-    recorder.measurements[-1].meta["stage_seconds"] = batched_stages
+    recorder.measurements[-1].meta["stage_seconds"] = batched_stages or None
     identical = scalar == batched
     recorder.derive("outputs_identical", identical)
     recorder.derive("batched_available", not use_scalar_model())

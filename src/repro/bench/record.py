@@ -132,9 +132,13 @@ class BenchRecorder:
         return ratio
 
     def to_dict(self) -> Dict[str, object]:
+        from ..analysis.check import provenance_header
+        created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        archs = self.config.get("archs")
         return {
             "name": self.name,
-            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "created": created,
+            "provenance": provenance_header(archs, created=created),
             "host": _host_info(),
             "config": self.config,
             "measurements": [m.to_dict() for m in self.measurements],

@@ -101,8 +101,35 @@ _RUNNERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 
 
 def run_sweep_job(payload: Dict[str, Any]) -> Any:
-    """Execute one sweep job; the scheduler ships this to workers."""
-    return _RUNNERS[payload["kind"]](payload)
+    """Execute one sweep job; the scheduler ships this to workers.
+
+    When the payload carries ``trace: True`` (set by
+    :func:`run_figure_sweep` whenever the parent process has a tracer
+    installed), the job runs under a fresh worker-local tracer and
+    returns a wrapped value carrying the recorded spans (plus the worker
+    tracer's epoch), which the parent absorbs back into its own tracer.
+    """
+    runner = _RUNNERS[payload["kind"]]
+    if not payload.get("trace"):
+        return runner(payload)
+    from ..obs import tracer as obs_tracer
+    worker_tracer = obs_tracer.Tracer()
+    with obs_tracer.tracing(worker_tracer):
+        value = runner(payload)
+    return {"__traced__": True, "value": value,
+            "epoch": worker_tracer.epoch,
+            "spans": [s.as_dict() for s in worker_tracer.finished()]}
+
+
+def _unwrap_traced(result, parent_tracer) -> Any:
+    """Absorb a traced job wrapper's spans; return the payload value."""
+    value = result.value
+    if isinstance(value, dict) and value.get("__traced__"):
+        if parent_tracer is not None:
+            parent_tracer.absorb(value.get("spans") or [],
+                                 value.get("epoch"))
+        result.value = value = value["value"]
+    return value
 
 
 # -- figure decomposition ----------------------------------------------------
@@ -281,6 +308,8 @@ class SweepOutcome:
     #: keys skipped because a resume file already had their values
     resumed: List[str] = field(default_factory=list)
     elapsed: float = 0.0
+    #: architecture names the planned jobs cover (for provenance)
+    archs: List[str] = field(default_factory=list)
 
     @property
     def failed(self) -> Dict[str, str]:
@@ -320,6 +349,8 @@ def run_figure_sweep(figure: str,
     process), which keeps per-job values available for resume files.
     """
     plan = plan_figure(figure, **plan_kwargs)
+    plan_archs = sorted({str(job.payload["arch"]) for job in plan.jobs
+                         if job.payload.get("arch")})
     wanted = set(plan.keys)
     resumed = {key: value for key, value in (resume_values or {}).items()
                if key in wanted}
@@ -332,7 +363,16 @@ def run_figure_sweep(figure: str,
         data = plan.serial()
         values = dict(zip(plan.keys, [None] * len(plan.keys)))
         return SweepOutcome(figure, data, values,
-                            elapsed=time.perf_counter() - start)
+                            elapsed=time.perf_counter() - start,
+                            archs=plan_archs)
+    from ..obs import tracer as obs_tracer
+    parent_tracer = obs_tracer.current()
+    if parent_tracer is not None:
+        # ship spans back from the workers: each job runs under its own
+        # tracer and the parent absorbs the spans (pid-tagged, epoch-
+        # rebased) so one trace covers the whole sharded sweep
+        todo = [Job(job.key, dict(job.payload, trace=True))
+                for job in todo]
     scheduler = SweepScheduler(workers=workers, timeout=timeout,
                                retries=retries, backoff=backoff,
                                degrade=degrade, mp_context=mp_context)
@@ -342,20 +382,29 @@ def run_figure_sweep(figure: str,
     values: Dict[str, Any] = dict(resumed)
     for key, result in results.items():
         if result.ok:
-            values[key] = result.value
+            values[key] = _unwrap_traced(result, parent_tracer)
     data = plan.merge(values) if len(values) == len(plan.jobs) else None
     return SweepOutcome(figure, data, values, results,
-                        sorted(resumed), time.perf_counter() - start)
+                        sorted(resumed), time.perf_counter() - start,
+                        archs=plan_archs)
 
 
 # -- resume-file I/O ---------------------------------------------------------
 
 
 def write_sweep_json(path: str, outcome: SweepOutcome,
-                     meta: Optional[Dict[str, Any]] = None) -> None:
-    """Persist per-job values (for ``--resume``) plus the merged data."""
+                     meta: Optional[Dict[str, Any]] = None,
+                     created: Optional[str] = None) -> None:
+    """Persist per-job values (for ``--resume``) plus the merged data.
+
+    ``created`` is a caller-supplied timestamp string for the provenance
+    header (the CLI stamps wall-clock time; tests leave it ``None`` for
+    byte-stable output).
+    """
+    from ..analysis.check import provenance_header
     payload = {
         "figure": outcome.figure,
+        "provenance": provenance_header(outcome.archs, created=created),
         "jobs": {key: encode_value(outcome.figure, value)
                  for key, value in outcome.values.items()
                  if value is not None},

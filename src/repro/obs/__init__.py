@@ -28,8 +28,9 @@ other layer, so it must never import from the rest of ``repro``.
 from .decisions import (AlternativeDecision, DecisionLog, TuneDecision,
                         GENERATION, REGISTERS, SHARED_MEMORY, TIMING,
                         logging_decisions)
-from .export import (chrome_trace_events, flame_summary, summarize_events,
-                     summarize_trace_file, trace_payload, write_chrome_trace)
+from .export import (chrome_trace_events, flame_summary, histogram_table,
+                     summarize_events, summarize_trace_file, trace_payload,
+                     write_chrome_trace)
 from .log import configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, collecting
 from .tracer import Span, Tracer, span, tracing
@@ -38,7 +39,8 @@ __all__ = [
     "AlternativeDecision", "Counter", "DecisionLog", "Gauge", "GENERATION",
     "Histogram", "MetricsRegistry", "REGISTERS", "SHARED_MEMORY", "Span",
     "TIMING", "Tracer", "TuneDecision", "chrome_trace_events", "collecting",
-    "configure_logging", "flame_summary", "get_logger", "logging_decisions",
+    "configure_logging", "flame_summary", "get_logger", "histogram_table",
+    "logging_decisions",
     "span", "summarize_events", "summarize_trace_file", "trace_payload",
     "tracing", "write_chrome_trace",
 ]

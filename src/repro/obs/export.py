@@ -17,18 +17,30 @@ from .metrics import MetricsRegistry
 from .tracer import Span, Tracer
 
 
-def _tid_table(spans: Sequence[Span]) -> Dict[int, int]:
-    """Compact huge OS thread idents to small stable ids (0 = first seen)."""
-    table: Dict[int, int] = {}
+def _tid_table(spans: Sequence[Span]) -> Dict[Tuple[int, int], int]:
+    """Compact (pid, OS thread ident) pairs to small stable ids.
+
+    Keyed per process: spans absorbed from worker processes may carry the
+    same OS thread ident as a local thread (thread idents are only unique
+    within a process), and merging them onto one lane would interleave
+    unrelated span stacks.
+    """
+    table: Dict[Tuple[int, int], int] = {}
     for span in spans:
-        if span.tid not in table:
-            table[span.tid] = len(table)
+        key = (span.pid, span.tid)
+        if key not in table:
+            table[key] = len(table)
     return table
 
 
 def chrome_trace_events(spans: Sequence[Span],
                         pid: Optional[int] = None) -> List[dict]:
-    """Convert spans to Chrome trace-event ``X`` (complete) events."""
+    """Convert spans to Chrome trace-event ``X`` (complete) events.
+
+    ``pid`` labels spans recorded in this process (``span.pid == 0``);
+    spans absorbed from worker processes keep their own pid so the trace
+    viewer renders one process group per worker.
+    """
     pid = pid if pid is not None else os.getpid()
     tids = _tid_table(spans)
     events = []
@@ -39,8 +51,8 @@ def chrome_trace_events(spans: Sequence[Span],
             "ph": "X",
             "ts": span.start * 1e6,        # microseconds
             "dur": span.duration * 1e6,
-            "pid": pid,
-            "tid": tids[span.tid],
+            "pid": span.pid or pid,
+            "tid": tids[(span.pid, span.tid)],
         }
         if span.args:
             event["args"] = dict(span.args)
@@ -127,7 +139,10 @@ def summarize_events(events: Sequence[dict],
     for event in events:
         if event.get("ph") != "X":
             continue
-        by_tid.setdefault(event.get("tid"), []).append(event)
+        # lane identity is (pid, tid): workers' tid counters restart per
+        # process, so tid alone would interleave unrelated span stacks
+        by_tid.setdefault((event.get("pid"), event.get("tid")),
+                          []).append(event)
     for tid_events in by_tid.values():
         # sort by start asc, then duration desc so parents precede children
         tid_events.sort(key=lambda e: (e.get("ts", 0.0),
@@ -149,12 +164,45 @@ def summarize_events(events: Sequence[dict],
     return _format_summary(_aggregate(rows), top=top)
 
 
-def summarize_trace_file(path: str, top: Optional[int] = None) -> str:
-    """Load a Chrome trace JSON file and return its flame summary."""
+def histogram_table(histograms: Dict[str, Dict[str, float]]) -> str:
+    """Per-histogram summary table with percentile columns.
+
+    Consumes :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`'s
+    ``histograms`` mapping; older snapshots without ``p50``/``p90`` keys
+    render those columns as 0.
+    """
+    width = max([len(name) for name in histograms] + [9])
+    lines = ["%-*s %8s %12s %12s %12s %12s" %
+             (width, "histogram", "count", "mean", "p50", "p90", "max"),
+             "-" * (width + 61)]
+    for name in sorted(histograms):
+        summary = histograms[name]
+        lines.append("%-*s %8d %12.6g %12.6g %12.6g %12.6g" % (
+            width, name, summary.get("count", 0),
+            summary.get("mean", 0.0), summary.get("p50", 0.0),
+            summary.get("p90", 0.0), summary.get("max", 0.0)))
+    return "\n".join(lines)
+
+
+def summarize_trace_file(path: str, top: Optional[int] = None,
+                         metrics: bool = False) -> str:
+    """Load a Chrome trace JSON file and return its flame summary.
+
+    With ``metrics=True``, a histogram table (count/mean/p50/p90/max per
+    recorded histogram) is appended when the file carries a metrics
+    snapshot under ``otherData``.
+    """
     with open(path) as handle:
         payload = json.load(handle)
     if isinstance(payload, dict):
         events = payload.get("traceEvents", [])
     else:  # the JSON-array flavor of the format
         events = payload
-    return summarize_events(events, top=top)
+        payload = {}
+    summary = summarize_events(events, top=top)
+    if metrics:
+        histograms = (payload.get("otherData") or {}) \
+            .get("metrics", {}).get("histograms") or {}
+        if histograms:
+            summary += "\n\n" + histogram_table(histograms)
+    return summary

@@ -51,9 +51,20 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count/total/min/max."""
+    """Streaming summary of observed values: count/total/min/max plus
+    percentile estimates (p50/p90) from a bounded sample reservoir.
 
-    __slots__ = ("name", "_lock", "count", "total", "min", "max")
+    The reservoir is deterministic (no RNG, so runs reproduce exactly):
+    when it fills, every other sample is dropped and the keep-stride
+    doubles, so it always holds an evenly-strided subsequence of the
+    observation stream, bounded at :data:`SAMPLE_CAP` values.
+    """
+
+    __slots__ = ("name", "_lock", "count", "total", "min", "max",
+                 "_samples", "_stride")
+
+    #: bound on retained samples per histogram
+    SAMPLE_CAP = 4096
 
     def __init__(self, name: str):
         self.name = name
@@ -62,10 +73,17 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: list = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         value = float(value)
         with self._lock:
+            if self.count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) > self.SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
             self.count += 1
             self.total += value
             if self.min is None or value < self.min:
@@ -77,11 +95,29 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def _rank(ordered: list, q: float) -> float:
+        """Nearest-rank percentile over an already-sorted sample list."""
+        if not ordered:
+            return 0.0
+        index = max(0, min(len(ordered) - 1,
+                           int(-(-q * len(ordered) // 1)) - 1))
+        return ordered[index]
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate, ``q`` in (0, 1]."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        return self._rank(ordered, q)
+
     def summary(self) -> Dict[str, float]:
         with self._lock:
+            ordered = sorted(self._samples)
             return {"count": self.count, "total": self.total,
                     "mean": self.total / self.count if self.count else 0.0,
                     "min": self.min if self.min is not None else 0.0,
+                    "p50": self._rank(ordered, 0.50),
+                    "p90": self._rank(ordered, 0.90),
                     "max": self.max if self.max is not None else 0.0}
 
 

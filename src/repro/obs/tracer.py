@@ -19,6 +19,7 @@ duration of a block with :func:`tracing`::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -44,6 +45,9 @@ class Span:
     args: Dict[str, object] = field(default_factory=dict)
     #: seconds spent in directly nested child spans
     child_seconds: float = 0.0
+    #: OS process the span ran in (0 = the recording process; set
+    #: explicitly when spans are absorbed from worker processes)
+    pid: int = 0
 
     @property
     def end(self) -> float:
@@ -53,6 +57,25 @@ class Span:
     def self_seconds(self) -> float:
         """Duration minus time attributed to direct children."""
         return max(0.0, self.duration - self.child_seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Picklable/JSON-friendly form for cross-process shipping."""
+        return {"name": self.name, "category": self.category,
+                "start": self.start, "duration": self.duration,
+                "tid": self.tid, "depth": self.depth,
+                "parent": self.parent, "args": dict(self.args),
+                "child_seconds": self.child_seconds,
+                "pid": self.pid or os.getpid()}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "Span":
+        return cls(name=raw["name"], category=raw["category"],
+                   start=raw["start"], duration=raw["duration"],
+                   tid=raw["tid"], depth=raw["depth"],
+                   parent=raw.get("parent"),
+                   args=dict(raw.get("args") or {}),
+                   child_seconds=raw.get("child_seconds", 0.0),
+                   pid=raw.get("pid", 0))
 
 
 class _NullSpan:
@@ -146,6 +169,28 @@ class Tracer:
         """A snapshot of all spans recorded so far."""
         with self._lock:
             return list(self._spans)
+
+    def absorb(self, spans: List[Dict[str, object]],
+               epoch: Optional[float] = None) -> int:
+        """Merge spans recorded by another process's tracer into this one.
+
+        ``spans`` are :meth:`Span.as_dict` payloads; ``epoch`` is the
+        remote tracer's epoch. ``time.perf_counter()`` is CLOCK_MONOTONIC
+        system-wide on Linux, so the remote epoch is directly comparable
+        to ours and remote starts rebase onto this tracer's timeline.
+        Each absorbed span keeps its originating ``pid``, so exporters
+        can keep per-process thread lanes from colliding even when two
+        workers report equal OS thread idents.
+        """
+        shift = (epoch - self.epoch) if epoch is not None else 0.0
+        absorbed = []
+        for raw in spans:
+            span_ = Span.from_dict(raw)
+            span_.start += shift
+            absorbed.append(span_)
+        with self._lock:
+            self._spans.extend(absorbed)
+        return len(absorbed)
 
     def clear(self) -> None:
         with self._lock:

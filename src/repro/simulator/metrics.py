@@ -27,6 +27,32 @@ class KernelMetrics:
     threads_per_block: int = 0
     num_blocks: int = 0
 
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic (reads + writes) — the roofline denominator."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-data view for JSON export (``repro analyze``)."""
+        return {
+            "time_seconds": self.time_seconds,
+            "lsu_utilization": self.lsu_utilization,
+            "fma_utilization": self.fma_utilization,
+            "l2_to_l1_read_bytes": self.l2_to_l1_read_bytes,
+            "l1_to_l2_write_bytes": self.l1_to_l2_write_bytes,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "l1_to_sm_read_requests": self.l1_to_sm_read_requests,
+            "sm_to_l1_write_requests": self.sm_to_l1_write_requests,
+            "shmem_to_sm_read_requests": self.shmem_to_sm_read_requests,
+            "sm_to_shmem_write_requests": self.sm_to_shmem_write_requests,
+            "occupancy": self.occupancy,
+            "registers_per_thread": self.registers_per_thread,
+            "shared_bytes_per_block": self.shared_bytes_per_block,
+            "threads_per_block": self.threads_per_block,
+            "num_blocks": self.num_blocks,
+        }
+
     def table_row(self) -> Dict[str, str]:
         """Formatted like the paper's Table II rows."""
         return {

@@ -72,6 +72,20 @@ class GPUArchitecture:
     def peak_bandwidth_bytes(self) -> float:
         return self.memory_bandwidth_gbs * 1e9
 
+    def peak_flops(self, dtype: str = "f32") -> float:
+        """Peak FLOP/s for ``dtype`` ("f32" or "f64")."""
+        if dtype == "f64":
+            return self.fp64_tflops * 1e12
+        if dtype == "f32":
+            return self.fp32_tflops * 1e12
+        raise ValueError("dtype must be 'f32' or 'f64', not %r" % dtype)
+
+    def ridge_intensity(self, dtype: str = "f32") -> float:
+        """Roofline ridge point in FLOP/byte: the arithmetic intensity at
+        which peak compute and peak DRAM bandwidth balance. Kernels below
+        it are bandwidth-limited, above it compute-limited."""
+        return self.peak_flops(dtype) / self.peak_bandwidth_bytes()
+
     def describe_row(self) -> Dict[str, object]:
         """One Table-I-style row."""
         return {

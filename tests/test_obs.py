@@ -510,9 +510,16 @@ class TestCLI:
         capsys.readouterr()
         assert main(["trace", "summarize", out, "--top", "5"]) == 0
         summary = capsys.readouterr().out
-        lines = summary.strip().splitlines()
+        sections = summary.strip().split("\n\n")
+        lines = sections[0].splitlines()
         assert lines[0].split()[0] == "span"
         assert len(lines) <= 2 + 5
+        # tune --trace records a metrics snapshot, so the summary gains a
+        # histogram table with percentile columns
+        assert len(sections) == 2
+        header = sections[1].splitlines()[0].split()
+        assert header[0] == "histogram"
+        assert "p50" in header and "p90" in header
 
     def test_trace_summarize_missing_file(self, tmp_path, capsys):
         assert main(["trace", "summarize",
