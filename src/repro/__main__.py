@@ -26,7 +26,12 @@ Commands mirror the Polygeist-GPU driver workflow:
   and why TDO's winner won (see ``docs/ANALYZE.md``);
 * ``check``     — diff two recorded runs (``BENCH_*.json`` or
   ``sweep --json``) cell by cell and exit non-zero on regressions
-  beyond a noise band; exit 2 when the records are not comparable.
+  beyond a noise band; exit 2 when the records are not comparable;
+* ``serve``     — run the long-lived tuning daemon: an HTTP/JSON API
+  over an async job queue and ONE shared on-disk tuning cache, so many
+  clients amortize each other's tuning runs (see ``docs/SERVE.md``);
+* ``submit``    — send one tuning request to a running daemon and wait
+  for (or poll) the result.
 
 ``tune --trace out.json`` records every compilation stage — parse, each
 cleanup pass, each pruning filter, each modeled alternative — as a Chrome
@@ -448,6 +453,74 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServerConfig, TuneServer
+
+    server = TuneServer(ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, job_timeout=args.timeout,
+        retries=args.retries, isolation=args.isolation,
+        cache_dir=args.cache, cache_max=args.cache_max,
+        drain_grace=args.drain_grace))
+    server.start()
+    server.install_signal_handlers()
+    if args.ready_file:
+        # port 0 means "pick a free port"; tests and the CI smoke step
+        # learn the bound address from this file
+        with open(args.ready_file, "w") as handle:
+            handle.write(server.url + "\n")
+    print("repro serve listening on %s (cache: %s)" %
+          (server.url, server.cache_dir))
+    server.serve_forever()
+    clean = server.wait_stopped(timeout=max(5.0, args.drain_grace))
+    print("repro serve drained%s" % ("" if clean else " (grace expired)"))
+    return 0 if clean else 1
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    request = {"arch": args.arch, "tier": args.tier}
+    if args.benchmark:
+        request["benchmark"] = args.benchmark
+    if args.file:
+        request["source"] = _load_source(args.file)
+        if args.kernel:
+            request["kernel"] = args.kernel
+        request["grid"] = list(_parse_dims(args.grid))
+        request["block"] = list(_parse_dims(args.block))
+    if args.max_factor is not None:
+        request["max_factor"] = args.max_factor
+    if args.size is not None:
+        request["size"] = args.size
+
+    client = ServeClient(args.url, timeout=args.http_timeout)
+    try:
+        submitted = client.submit(request)
+        if args.no_wait:
+            print("queued %s (%s)" % (submitted["job"],
+                                      submitted["target"]))
+            return 0
+        result = client.wait(submitted["job"], timeout=args.wait)
+    except ServeError as error:
+        print("submit failed%s: %s" %
+              (" (HTTP %d)" % error.status if error.status else "",
+               error), file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=1)
+            handle.write("\n")
+    # one stable grep-able line for scripts and the CI smoke step
+    print("%s %s: modeled %.6es, wall %.3fs, warm=%s" %
+          (result["job"], result["target"], result["seconds"],
+           result["wall_seconds"],
+           "yes" if result["cache_hit"] else "no"))
+    return 0
+
+
 def cmd_targets(args) -> int:
     from .targets import ALL_ARCHS
 
@@ -589,6 +662,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     targets = sub.add_parser("targets", help="list GPU models")
     targets.set_defaults(fn=cmd_targets)
+
+    serve = sub.add_parser(
+        "serve", help="run the tuning daemon (HTTP/JSON, shared cache)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port; 0 picks a free one "
+                            "(default 8321)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent dispatcher threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="queued+running bound before 429 "
+                            "(default 32)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds "
+                            "(process isolation only)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="retry budget per job (default 1)")
+    serve.add_argument("--isolation", choices=("process", "thread"),
+                       default="process",
+                       help="run jobs in worker processes (timeout "
+                            "enforcement, crash isolation) or in-daemon "
+                            "threads (default process)")
+    serve.add_argument("--cache", metavar="DIR",
+                       help="shared tuning cache directory (default: "
+                            "$REPRO_TUNING_CACHE)")
+    serve.add_argument("--cache-max", metavar="BUDGET",
+                       help="LRU cache budget: bytes, k/m/g suffix, or "
+                            "'<N>e' entries (default: "
+                            "$REPRO_TUNING_CACHE_MAX)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="seconds to finish the backlog on "
+                            "SIGTERM/SIGINT (default 30)")
+    serve.add_argument("--ready-file", metavar="FILE",
+                       help="write the bound URL here once listening")
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send one tuning request to a running daemon")
+    submit.add_argument("--url", default="http://127.0.0.1:8321")
+    group = submit.add_mutually_exclusive_group(required=True)
+    group.add_argument("--benchmark", help="benchsuite name (e.g. lud)")
+    group.add_argument("--file", help="a .cu file to tune")
+    submit.add_argument("--kernel",
+                        help="--file mode: kernel name (default: first)")
+    submit.add_argument("--grid", default="1024",
+                        help="--file mode: grid dims (default 1024)")
+    submit.add_argument("--block", default="256",
+                        help="--file mode: block dims (default 256)")
+    submit.add_argument("--arch", default="a100")
+    submit.add_argument("--tier", default="polygeist")
+    submit.add_argument("--max-factor", type=int, default=None,
+                        help="bound the coarsening sweep to "
+                             "block*thread <= N (default: the paper set)")
+    submit.add_argument("--size", type=int, default=None,
+                        help="problem size (default: the model size)")
+    submit.add_argument("--wait", type=float, default=300.0,
+                        help="seconds to wait for the result "
+                             "(default 300)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="just queue the job and print its id")
+    submit.add_argument("--http-timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout (default 30)")
+    submit.add_argument("--json", metavar="FILE",
+                        help="write the full result (incl. the decision "
+                             "log) as JSON")
+    submit.set_defaults(fn=cmd_submit)
 
     analyze = sub.add_parser(
         "analyze", help="bottleneck attribution report for one benchmark")

@@ -150,14 +150,18 @@ def verify_benchmark(name: str, arch: GPUArchitecture,
 def simulate_composite(name: str, arch,
                        tier: str = "polygeist",
                        autotune_configs: Optional[Sequence[Dict]] = None,
-                       size: Optional[int] = None) -> float:
+                       size: Optional[int] = None,
+                       engine=None) -> float:
     """Model the composite time of a benchmark at paper-scale size.
 
     Sums analytically-modeled kernel launches (tuned per the tier) plus
     PCIe transfer time — no functional interpretation, so large problem
     sizes are cheap. ``arch`` may be a :class:`GPUArchitecture` or an
     architecture name (resolved via ``arch_by_name``), so sweep jobs can
-    stay picklable by shipping the name.
+    stay picklable by shipping the name. ``engine`` (a
+    :class:`~repro.engine.TuningEngine`) overrides the process-wide
+    default — the ``repro serve`` daemon passes a per-job engine over
+    the shared on-disk cache so hit/miss accounting stays per request.
     """
     if isinstance(arch, str):
         from ..targets import arch_by_name
@@ -166,7 +170,7 @@ def simulate_composite(name: str, arch,
     bench = get_benchmark(name)
     size = size or bench.model_size
     program = Program(bench.source, arch=arch, tier=tier,
-                      autotune_configs=autotune_configs)
+                      autotune_configs=autotune_configs, engine=engine)
     launches = list(bench.iter_launches(size))
     grouped: Dict[Tuple[str, Tuple[int, ...]], List] = {}
     for kernel, grid, block in launches:

@@ -378,7 +378,8 @@ def run_figure_sweep(figure: str,
                                degrade=degrade, mp_context=mp_context)
     logger.info("sweep %s: %d jobs (%d resumed) on %r", figure,
                 len(todo), len(resumed), scheduler)
-    results = scheduler.run(run_sweep_job, todo)
+    with scheduler:  # worker processes reaped even if a merge step throws
+        results = scheduler.run(run_sweep_job, todo)
     values: Dict[str, Any] = dict(resumed)
     for key, result in results.items():
         if result.ok:

@@ -12,6 +12,24 @@ are not retried.
 The cache is in-memory by default; give it a directory (or set
 ``$REPRO_TUNING_CACHE``) to persist entries as one JSON file per key
 across processes.
+
+Multi-tenant behavior (the ``repro serve`` daemon shares one on-disk
+cache across every client):
+
+* every lookup/store is **counted** — instance totals via
+  :meth:`TuningCache.stats` plus ``engine.cache.{hit,miss,evict,store,
+  dump_errors}`` counters on the installed
+  :mod:`repro.obs.metrics` registry;
+* the on-disk store is **bounded**: an LRU byte budget (and optional
+  entry budget) is enforced at :meth:`store` time, configured by
+  ``$REPRO_TUNING_CACHE_MAX`` (plain bytes, ``k``/``m``/``g`` suffixes,
+  or ``<N>e`` for an entry budget). Eviction orders by file mtime —
+  disk hits touch the file, so the order is LRU, and concurrent writers
+  stay safe because every writer uses a private ``mkstemp`` temp and
+  racing removals tolerate losing;
+* a failing dump (full disk, read-only cache dir) is **loud**: warned
+  once per cache instance and counted, instead of silently degrading to
+  0% warm replay.
 """
 
 from __future__ import annotations
@@ -21,15 +39,49 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 
 #: environment variable naming the on-disk cache directory
 CACHE_DIR_ENV = "REPRO_TUNING_CACHE"
 
+#: environment variable bounding the on-disk cache (LRU-evicted at store
+#: time): plain bytes, a ``k``/``m``/``g``-suffixed byte count, or
+#: ``<N>e`` for a maximum entry count
+CACHE_MAX_ENV = "REPRO_TUNING_CACHE_MAX"
+
 logger = get_logger("engine.cache")
+
+_SUFFIX_BYTES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def parse_cache_budget(text: Optional[str]
+                       ) -> Tuple[Optional[int], Optional[int]]:
+    """Parse a ``$REPRO_TUNING_CACHE_MAX`` value.
+
+    Returns ``(max_bytes, max_entries)``; both ``None`` for an empty or
+    malformed value (malformed values are warned about, not fatal —
+    an operator typo must not take the cache down).
+    """
+    raw = (text or "").strip().lower()
+    if not raw:
+        return None, None
+    try:
+        if raw.endswith("e"):
+            return None, max(0, int(raw[:-1]))
+        if raw[-1] in _SUFFIX_BYTES:
+            return max(0, int(float(raw[:-1]) * _SUFFIX_BYTES[raw[-1]])), \
+                None
+        return max(0, int(raw)), None
+    except ValueError:
+        logger.warning("ignoring malformed %s value %r", CACHE_MAX_ENV,
+                       text)
+        return None, None
 
 
 @dataclass
@@ -122,11 +174,30 @@ def entry_from_dict(data: Dict[str, object]) -> CacheEntry:
 
 
 class TuningCache:
-    """In-memory (and optionally on-disk) map of tuning keys → entries."""
+    """In-memory (and optionally on-disk) map of tuning keys → entries.
 
-    def __init__(self, path: Optional[str] = None):
+    ``max_bytes`` / ``max_entries`` bound the **on-disk** store with LRU
+    eviction at :meth:`store` time (``max_entries`` also bounds the
+    in-memory map). Both default to ``$REPRO_TUNING_CACHE_MAX``.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 max_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None):
         self.path = path
-        self._memory: Dict[str, CacheEntry] = {}
+        if max_bytes is None and max_entries is None:
+            max_bytes, max_entries = parse_cache_budget(
+                os.environ.get(CACHE_MAX_ENV))
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._memory: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.dump_errors = 0
+        self._dump_error_logged = False
         if path:
             os.makedirs(path, exist_ok=True)
 
@@ -134,16 +205,27 @@ class TuningCache:
 
     def lookup(self, key: str) -> Tuple[bool, Optional[CacheEntry]]:
         """Returns ``(hit, entry)``; the entry is a private copy."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            logger.debug("memory hit for %s", key)
-            return True, copy.deepcopy(entry)
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self._count_hit()
+                logger.debug("memory hit for %s", key)
+                return True, copy.deepcopy(entry)
         if self.path:
             entry = self._load(key)
             if entry is not None:
+                self._touch(key)
+                with self._lock:
+                    self._memory[key] = entry
+                    self._memory.move_to_end(key)
+                    self._evict_memory(keep=key)
+                    self._count_hit()
                 logger.debug("disk hit for %s", key)
-                self._memory[key] = entry
                 return True, copy.deepcopy(entry)
+        with self._lock:
+            self.misses += 1
+        obs_metrics.inc("engine.cache.miss")
         logger.debug("miss for %s", key)
         return False, None
 
@@ -151,19 +233,30 @@ class TuningCache:
         logger.debug("store %s (winner: %s)", key,
                      entry.outcome.selected_desc
                      if entry.outcome is not None else "<failed tuning>")
-        self._memory[key] = copy.deepcopy(entry)
+        with self._lock:
+            self._memory[key] = copy.deepcopy(entry)
+            self._memory.move_to_end(key)
+            self.stores += 1
+            self._evict_memory(keep=key)
+        obs_metrics.inc("engine.cache.store")
         if self.path:
             self._dump(key, entry)
+            self._evict_disk(keep=key)
 
     def clear(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self.path and os.path.isdir(self.path):
             for name in os.listdir(self.path):
                 if name.endswith(".json") or name.endswith(".tmp"):
-                    os.remove(os.path.join(self.path, name))
+                    try:
+                        os.remove(os.path.join(self.path, name))
+                    except OSError:
+                        pass  # a concurrent clear/evict got there first
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def disk_entries(self) -> int:
         if not self.path or not os.path.isdir(self.path):
@@ -171,10 +264,118 @@ class TuningCache:
         return sum(1 for name in os.listdir(self.path)
                    if name.endswith(".json"))
 
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk entries, in bytes."""
+        return sum(size for _, _, size in self._disk_listing())
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus occupancy, for ``/v1/cache/stats``."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            payload: Dict[str, object] = {
+                "hits": hits,
+                "misses": misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "dump_errors": self.dump_errors,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "entries": len(self._memory),
+            }
+        payload["disk_entries"] = self.disk_entries()
+        payload["disk_bytes"] = self.disk_bytes()
+        payload["max_bytes"] = self.max_bytes
+        payload["max_entries"] = self.max_entries
+        payload["path"] = self.path
+        return payload
+
+    def _count_hit(self) -> None:
+        # callers hold self._lock
+        self.hits += 1
+        obs_metrics.inc("engine.cache.hit")
+
+    # -- eviction ---------------------------------------------------------------
+
+    def _evict_memory(self, keep: str) -> None:
+        # callers hold self._lock; only the entry budget applies in memory
+        # (byte accounting is meaningful for the persisted JSON files).
+        # ``keep`` was just move_to_end'd, so the LRU victim is never the
+        # entry being stored while the budget is >= 1.
+        if self.max_entries is None:
+            return
+        while len(self._memory) > max(1, self.max_entries):
+            self._memory.popitem(last=False)
+            if not self.path:
+                # memory-only cache: this IS data loss, count it; with a
+                # disk store the persisted entry survives and disk
+                # eviction does the counting
+                self.evictions += 1
+                obs_metrics.inc("engine.cache.evict")
+
+    def _disk_listing(self) -> List[Tuple[float, str, int]]:
+        """``(mtime, path, size)`` per on-disk entry, oldest first."""
+        if not self.path or not os.path.isdir(self.path):
+            return []
+        listing = []
+        for name in os.listdir(self.path):
+            if not name.endswith(".json"):
+                continue
+            full = os.path.join(self.path, name)
+            try:
+                status = os.stat(full)
+            except OSError:
+                continue  # concurrently evicted
+            listing.append((status.st_mtime, full, status.st_size))
+        listing.sort()
+        return listing
+
+    def _evict_disk(self, keep: str) -> None:
+        """Enforce the LRU byte/entry budget over the persisted entries.
+
+        Orders by mtime (disk hits :meth:`_touch` their file, so this is
+        LRU, not FIFO) and is stable under concurrent writers: each
+        eviction is one ``os.remove`` that tolerates already-gone files,
+        and the entry just stored is never the victim.
+        """
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        keep_path = self._file(keep)
+        listing = self._disk_listing()
+        total = sum(size for _, _, size in listing)
+        count = len(listing)
+        for mtime, full, size in listing:
+            over_bytes = self.max_bytes is not None and \
+                total > self.max_bytes
+            over_entries = self.max_entries is not None and \
+                count > self.max_entries
+            if not over_bytes and not over_entries:
+                return
+            if full == keep_path:
+                continue
+            try:
+                os.remove(full)
+            except OSError:
+                pass  # a concurrent writer evicted it; budget math below
+                # still converges because the loop re-checks per victim
+            else:
+                logger.debug("evicted %s (%d bytes)", full, size)
+                with self._lock:
+                    self.evictions += 1
+                obs_metrics.inc("engine.cache.evict")
+            total -= size
+            count -= 1
+
     # -- persistence -------------------------------------------------------------
 
     def _file(self, key: str) -> str:
-        return os.path.join(self.path, key + ".json")
+        return os.path.join(self.path, key + ".json") if self.path \
+            else key + ".json"
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's mtime so disk eviction stays LRU."""
+        try:
+            os.utime(self._file(key), None)
+        except OSError:
+            pass  # entry evicted between read and touch
 
     def _load(self, key: str) -> Optional[CacheEntry]:
         path = self._file(key)
@@ -206,8 +407,21 @@ class TuningCache:
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry_to_dict(entry), handle)
             os.replace(tmp, target)
-        except OSError:
-            pass  # disk persistence is best-effort
+        except OSError as error:
+            # a full disk or read-only cache dir silently degrades every
+            # future run to 0% warm replay — say so once, count always
+            with self._lock:
+                self.dump_errors += 1
+                first = not self._dump_error_logged
+                self._dump_error_logged = True
+            obs_metrics.inc("engine.cache.dump_errors")
+            if first:
+                logger.warning(
+                    "cannot persist tuning cache entry under %s (%s); "
+                    "warm replay across processes is disabled until the "
+                    "cache directory is writable again", self.path, error)
+            else:
+                logger.debug("cache dump failed again: %s", error)
         finally:
             if tmp is not None and os.path.exists(tmp):
                 try:

@@ -33,11 +33,13 @@ registry is installed, and always tallied on the returned
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import multiprocessing
 import os
 import queue as queue_module
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -46,6 +48,22 @@ from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 
 logger = get_logger("engine.scheduler")
+
+#: schedulers with live worker pools, shut down as a last resort at
+#: interpreter exit so a crashed caller (or a test that never reached its
+#: cleanup) cannot leak worker processes
+_live_pools: "weakref.WeakSet[SweepScheduler]" = weakref.WeakSet()
+
+
+def _shutdown_live_pools() -> None:
+    for scheduler in list(_live_pools):
+        try:
+            scheduler.shutdown()
+        except Exception:  # interpreter is exiting; nothing to do about it
+            pass
+
+
+atexit.register(_shutdown_live_pools)
 
 #: environment variable selecting the default sweep worker count
 SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -162,7 +180,19 @@ class SweepScheduler:
     unbounded); ``retries`` is how many times a failed job is re-queued
     before it is degraded (run in-process) or marked failed.
     ``mp_context`` names a multiprocessing start method (``"fork"``,
-    ``"spawn"``); ``None`` uses the platform default.
+    ``"spawn"``); ``None`` uses the platform default. ``isolate=True``
+    forces the worker-process path even for one worker or one job —
+    the ``repro serve`` daemon uses it so every job gets timeout
+    enforcement and crash isolation.
+
+    The scheduler is a **context manager**. Outside a ``with`` block each
+    :meth:`run` still cleans up its own workers, but entering the block
+    makes the pool *persistent*: consecutive :meth:`run` calls reuse the
+    same warm worker processes and :meth:`shutdown` (called on exit)
+    reaps them. However the scheduler is used, live pools are registered
+    with an ``atexit`` guard, so an exception between pool spawn and
+    shutdown — or a caller that simply forgets — cannot orphan worker
+    processes past interpreter exit.
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -170,18 +200,64 @@ class SweepScheduler:
                  retries: int = 2,
                  backoff: float = 0.5,
                  degrade: bool = True,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 isolate: bool = False):
         self.workers = sweep_workers(workers)
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
         self.degrade = bool(degrade)
+        self.isolate = bool(isolate)
         self._context = multiprocessing.get_context(mp_context)
+        self._pool: List[_Worker] = []
+        self._results_queue = None
+        self._persistent = False
+        # tickets stay unique across runs: a stale result from a previous
+        # run's timed-out attempt must never alias a live ticket when the
+        # pool (and its results queue) persists
+        self._tickets = itertools.count()
 
     def __repr__(self) -> str:
         return ("SweepScheduler(workers=%d, timeout=%r, retries=%d, "
                 "degrade=%r)" % (self.workers, self.timeout, self.retries,
                                  self.degrade))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "SweepScheduler":
+        self._persistent = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._persistent = False
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop every pooled worker process (idempotent)."""
+        pool, self._pool = self._pool, []
+        for worker in pool:
+            worker.stop()
+        self._results_queue = None
+        _live_pools.discard(self)
+
+    @property
+    def pool_size(self) -> int:
+        """Live worker processes currently pooled."""
+        return len(self._pool)
+
+    def _ensure_pool(self, size: int):
+        """Grow the pool to ``size`` workers, replacing any dead ones."""
+        if self._results_queue is None:
+            self._results_queue = self._context.Queue()
+        for index, worker in enumerate(self._pool):
+            if not worker.process.is_alive():
+                worker.kill()
+                self._pool[index] = _Worker(self._context,
+                                            self._results_queue)
+        while len(self._pool) < size:
+            self._pool.append(_Worker(self._context, self._results_queue))
+        _live_pools.add(self)
+        return self._results_queue
 
     # -- public API ---------------------------------------------------------
 
@@ -200,7 +276,7 @@ class SweepScheduler:
         results: Dict[str, JobResult] = {}
         if not jobs:
             return results
-        if self.workers <= 1 or len(jobs) == 1:
+        if not self.isolate and (self.workers <= 1 or len(jobs) == 1):
             done = self._run_sequential(runner, jobs)
         else:
             done = self._run_pool(runner, jobs)
@@ -232,17 +308,15 @@ class SweepScheduler:
     # -- process pool -------------------------------------------------------
 
     def _run_pool(self, runner, jobs) -> Dict[str, JobResult]:
-        results_queue = self._context.Queue()
-        pool: List[_Worker] = []
         pending = deque(_JobState(job) for job in jobs)
         waiting: List[_JobState] = []     # backoff-delayed retries
         tickets: Dict[int, _JobState] = {}
-        counter = itertools.count()
+        counter = self._tickets
         done: Dict[str, JobResult] = {}
-        pool_size = min(self.workers, len(jobs))
+        pool_size = max(1, min(self.workers, len(jobs)))
         try:
-            for _ in range(pool_size):
-                pool.append(_Worker(self._context, results_queue))
+            results_queue = self._ensure_pool(pool_size)
+            pool = self._pool   # _police replaces members in place
             while len(done) < len(jobs):
                 now = time.monotonic()
                 # promote retries whose backoff has elapsed
@@ -265,8 +339,11 @@ class SweepScheduler:
                 self._police(results_queue, pool, tickets, done, waiting,
                              runner)
         finally:
-            for worker in pool:
-                worker.stop()
+            # a persistent (context-managed) pool stays warm for the next
+            # run; otherwise reap the workers right here — and either
+            # way the atexit guard backstops a crashed caller
+            if not self._persistent:
+                self.shutdown()
         return done
 
     def _reap(self, results_queue, pool, tickets, done, waiting,

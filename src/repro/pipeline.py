@@ -91,12 +91,20 @@ class Program:
         every :class:`Program` sharing it. Everything comes from the
         engine's single :class:`~repro.obs.metrics.MetricsRegistry`; the
         ``gauges``/``histograms`` keys expose the raw instruments beyond
-        the classic stage/counter views.
+        the classic stage/counter views, and ``cache`` (plus the
+        ``engine.cache.*`` counters) carries the tuning cache's
+        hit/miss/evict totals and occupancy.
         """
         payload = self.engine.stats.as_dict()
         snapshot = self.engine.stats.registry.snapshot()
         payload["gauges"] = snapshot["gauges"]
         payload["histograms"] = snapshot["histograms"]
+        cache_stats = self.engine.cache.stats()
+        payload["cache"] = cache_stats
+        payload["counters"].update(
+            {"engine.cache.%s" % name: cache_stats[name]
+             for name in ("hits", "misses", "stores", "evictions",
+                          "dump_errors")})
         return payload
 
     def _run_cleanup(self, parallel: bool) -> None:

@@ -1,0 +1,26 @@
+"""``repro serve``: the tuning pipeline as a long-running daemon.
+
+The package splits along the daemon's three concerns:
+
+* :mod:`repro.serve.jobs`   — the request schema (:class:`TuneRequest`),
+  the picklable job runner (:func:`run_tune_job`), and per-job lifecycle
+  records (:class:`JobRecord`);
+* :mod:`repro.serve.queue`  — bounded admission, drain semantics, and
+  single-flight coalescing (:class:`JobQueue`);
+* :mod:`repro.serve.server` — the HTTP front end and dispatcher threads
+  (:class:`TuneServer` / :class:`ServerConfig`);
+* :mod:`repro.serve.client` — the stdlib client (:class:`ServeClient`).
+
+See ``docs/SERVE.md`` for the API schema and deployment notes.
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import JobRecord, RequestError, TuneRequest, run_tune_job
+from .queue import JobQueue, QueueClosed, QueueFull
+from .server import ServerConfig, TuneServer
+
+__all__ = [
+    "JobQueue", "JobRecord", "QueueClosed", "QueueFull", "RequestError",
+    "ServeClient", "ServeError", "ServerConfig", "TuneRequest",
+    "TuneServer", "run_tune_job",
+]

@@ -1,0 +1,126 @@
+"""A stdlib-only client for the ``repro serve`` daemon.
+
+:class:`ServeClient` wraps the daemon's JSON API with plain
+``urllib.request`` calls — no third-party HTTP stack — so scripts, CI
+smoke tests, and the ``repro submit`` subcommand all talk to the daemon
+the same way:
+
+>>> client = ServeClient("http://127.0.0.1:8321")
+>>> job = client.submit({"benchmark": "lud", "arch": "a100"})
+>>> result = client.wait(job["job"])
+>>> result["cache_hit"], result["seconds"]
+
+Server-side rejections (400/429/503...) raise :class:`ServeError`
+carrying the HTTP status and the server's error message, so callers can
+branch on ``error.status == 429`` to implement backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServeError(Exception):
+    """A non-2xx daemon response (or an unreachable daemon)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8321",
+                 timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _call(self, path: str, payload: Optional[Dict[str, Any]] = None,
+              accept: tuple = (200,)) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                status = response.status
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            status = error.code
+            body = error.read()
+        except urllib.error.URLError as error:
+            raise ServeError("cannot reach daemon at %s: %s" %
+                             (self.base_url, error.reason))
+        except OSError as error:
+            # e.g. ConnectionResetError when the daemon dies mid-request
+            raise ServeError("lost connection to daemon at %s: %s" %
+                             (self.base_url, error))
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError:
+            decoded = {"error": body.decode("utf-8", "replace")}
+        if status not in accept:
+            raise ServeError(decoded.get("error",
+                                         "HTTP %d from %s" % (status, url)),
+                             status=status)
+        decoded["_status"] = status
+        return decoded
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/tune``; returns ``{"job": ..., "state": ...}``."""
+        return self._call("/v1/tune", payload=request)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — status incl. per-stage progress."""
+        return self._call("/v1/jobs/%s" % job_id)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/result``; 202 (still running) is returned
+        as the status payload with ``_status == 202``."""
+        return self._call("/v1/jobs/%s/result" % job_id,
+                          accept=(200, 202))
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job finishes; raises :class:`ServeError` on a
+        failed job or on deadline expiry."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.result(job_id)
+            if payload["_status"] == 200:
+                if payload.get("state") == "failed":
+                    raise ServeError("job %s failed: %s" %
+                                     (job_id, payload.get("error", "")))
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServeError("timed out waiting for job %s "
+                                 "(last state: %s)" %
+                                 (job_id, payload.get("state")))
+            time.sleep(poll)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._call("/v1/cache/stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("/healthz")
+
+    def alive(self) -> bool:
+        """True when the daemon answers ``/healthz`` at all."""
+        try:
+            self.health()
+            return True
+        except ServeError:
+            return False

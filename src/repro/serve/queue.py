@@ -1,0 +1,137 @@
+"""Bounded FIFO job queue with single-flight request coalescing.
+
+The daemon's admission story lives here:
+
+* **bounded depth** — :meth:`JobQueue.submit` raises :class:`QueueFull`
+  when ``depth`` jobs are already queued or running; the HTTP layer maps
+  that to 429 so clients back off instead of piling work onto a box that
+  cannot keep up;
+* **drain** — :meth:`JobQueue.close` stops admissions (→
+  :class:`QueueClosed` → 503) while dispatchers keep pulling until the
+  backlog is empty, which is exactly the SIGTERM story: stop accepting,
+  finish what was promised;
+* **single-flight** — concurrent requests with the same
+  :meth:`~repro.serve.jobs.TuneRequest.signature` are the same tuning
+  problem. :meth:`signature_lock` hands dispatchers a per-signature lock
+  so identical jobs serialize: the first pays the tuning, the rest
+  replay it from the shared cache. N clients submitting the same source
+  cost one tuning run plus N-1 cache hits, never N tuning runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .jobs import JobRecord
+
+
+class QueueFull(Exception):
+    """Admission control rejection (HTTP 429)."""
+
+
+class QueueClosed(Exception):
+    """The daemon is draining; no new work (HTTP 503)."""
+
+
+class JobQueue:
+    """FIFO of :class:`JobRecord` plus the daemon's job registry."""
+
+    #: signature-lock table bound — pruned opportunistically; the table
+    #: only grows with *distinct concurrent* signatures, but a long-lived
+    #: daemon must not accumulate one lock per request ever seen
+    LOCK_TABLE_CAP = 512
+
+    def __init__(self, depth: int = 32):
+        self.depth = max(1, int(depth))
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: Deque[JobRecord] = deque()
+        self._running = 0
+        self._closed = False
+        self._jobs: Dict[str, JobRecord] = {}
+        self._signature_locks: Dict[str, threading.Lock] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Queue a job; raises :class:`QueueFull` / :class:`QueueClosed`."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("daemon is draining")
+            if len(self._pending) + self._running >= self.depth:
+                raise QueueFull(
+                    "queue depth %d reached (%d queued, %d running)" %
+                    (self.depth, len(self._pending), self._running))
+            self._jobs[record.id] = record
+            self._pending.append(record)
+            self._not_empty.notify()
+
+    def next_job(self) -> Optional[JobRecord]:
+        """Block for the next job; ``None`` once closed and drained."""
+        with self._not_empty:
+            while not self._pending:
+                if self._closed:
+                    return None
+                # periodic wake so a dispatcher never sleeps through a
+                # close() that raced its wait registration
+                self._not_empty.wait(timeout=0.5)
+            record = self._pending.popleft()
+            self._running += 1
+            return record
+
+    def task_done(self) -> None:
+        with self._lock:
+            self._running = max(0, self._running - 1)
+
+    def close(self) -> None:
+        """Stop admissions and wake every blocked dispatcher."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            pending, running = len(self._pending), self._running
+        states: Dict[str, int] = {"queued": pending, "running": running,
+                                  "done": 0, "failed": 0}
+        for record in self.jobs():
+            if record.state in ("done", "failed"):
+                states[record.state] += 1
+        return states
+
+    def idle(self) -> bool:
+        """True when nothing is queued or running."""
+        with self._lock:
+            return not self._pending and self._running == 0
+
+    # -- single-flight -------------------------------------------------------
+
+    def signature_lock(self, signature: str) -> threading.Lock:
+        """The per-signature serialization lock (get-or-create)."""
+        with self._lock:
+            lock = self._signature_locks.get(signature)
+            if lock is None:
+                if len(self._signature_locks) >= self.LOCK_TABLE_CAP:
+                    for key in [k for k, v in
+                                self._signature_locks.items()
+                                if not v.locked()]:
+                        del self._signature_locks[key]
+                lock = self._signature_locks[signature] = threading.Lock()
+            return lock

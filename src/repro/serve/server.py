@@ -1,0 +1,446 @@
+"""The ``repro serve`` daemon: tuning as a long-running service.
+
+The paper's cost argument is that target-specific respecialization is
+expensive but *amortizable*; a one-shot CLI never amortizes anything
+because every invocation pays cold startup and owns its cache privately.
+:class:`TuneServer` makes the tuning pipeline resident: a threaded
+HTTP/JSON front end over an async job queue, dispatcher threads that run
+each job through :class:`~repro.engine.scheduler.SweepScheduler` (warm
+persistent worker pools, per-job timeout, crash isolation), and **one
+shared on-disk** :class:`~repro.engine.cache.TuningCache` that every
+client of the daemon — and every worker process — reads and writes, so
+the Nth identical request replays the first one's decision.
+
+API surface (all JSON):
+
+* ``POST /v1/tune``            — submit a tuning request → job id
+  (429 when the queue is full, 503 while draining, 400 on a bad body);
+* ``GET /v1/jobs/<id>``        — job status incl. per-stage progress;
+* ``GET /v1/jobs/<id>/result`` — the full result: composite seconds,
+  cache accounting, per-stage seconds, and the TDO decision log
+  (202 while the job is still queued/running);
+* ``GET /v1/cache/stats``      — shared-cache hit/miss/evict counters,
+  hit rate, and disk occupancy against the configured budget;
+* ``GET /healthz``             — liveness, queue counts, uptime.
+
+Shutdown is graceful: SIGTERM/SIGINT stop admissions (503), let the
+dispatchers finish the backlog (bounded by ``drain_grace``), shut the
+scheduler worker pools down cleanly, then stop the HTTP listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..engine import EngineStats, TuningCache, TuningEngine
+from ..engine.cache import default_cache_path, parse_cache_budget
+from ..engine.scheduler import Job, SweepScheduler
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+from .jobs import FAILED, JobRecord, RequestError, TuneRequest, \
+    run_tune_job
+from .queue import JobQueue, QueueClosed, QueueFull
+
+logger = get_logger("serve")
+
+#: job execution isolation: worker processes (timeout enforcement, crash
+#: isolation) or in-daemon threads (no fork cost; timeouts unenforced)
+ISOLATIONS = ("process", "thread")
+
+#: request body bound — tuning sources are small; anything bigger is abuse
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: cache counter names aggregated from job results into the daemon registry
+_CACHE_COUNTERS = (("hits", "engine.cache.hit"),
+                   ("misses", "engine.cache.miss"),
+                   ("stores", "engine.cache.store"),
+                   ("evictions", "engine.cache.evict"),
+                   ("dump_errors", "engine.cache.dump_errors"))
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can be told on the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    workers: int = 2
+    queue_depth: int = 32
+    job_timeout: Optional[float] = None
+    retries: int = 1
+    isolation: str = "process"
+    cache_dir: Optional[str] = None
+    #: ``$REPRO_TUNING_CACHE_MAX`` syntax: bytes, ``k``/``m``/``g``, or
+    #: ``<N>e`` entries
+    cache_max: Optional[str] = None
+    drain_grace: float = 30.0
+    mp_context: Optional[str] = None
+
+
+class TuneServer:
+    """One daemon: HTTP front end + dispatchers + the shared cache."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config if config is not None else ServerConfig()
+        if self.config.isolation not in ISOLATIONS:
+            raise ValueError("isolation must be one of %s" %
+                             (ISOLATIONS,))
+        cache_dir = self.config.cache_dir or default_cache_path()
+        if not cache_dir:
+            cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+            logger.warning(
+                "no cache directory configured ($REPRO_TUNING_CACHE or "
+                "--cache); using throwaway %s — warm state will not "
+                "survive a restart", cache_dir)
+        self.cache_dir = cache_dir
+        max_bytes, max_entries = parse_cache_budget(self.config.cache_max)
+        #: the daemon's handle on the shared store (budget + occupancy);
+        #: jobs build their own engine over the same directory
+        self.cache = TuningCache(cache_dir, max_bytes=max_bytes,
+                                 max_entries=max_entries)
+        self.registry = obs_metrics.MetricsRegistry()
+        self.queue = JobQueue(self.config.queue_depth)
+        self.started_at = time.time()
+        self.port = self.config.port
+        self._draining = False
+        self._job_ids = itertools.count(1)
+        self._dispatchers: list = []
+        self._schedulers: list = []
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._started = False
+        self._serving = False
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start the dispatcher threads."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(max(1, self.config.workers)):
+            scheduler = SweepScheduler(
+                workers=1,
+                timeout=self.config.job_timeout,
+                retries=self.config.retries,
+                degrade=False,  # a hung job must fail, not block a thread
+                isolate=self.config.isolation == "process",
+                mp_context=self.config.mp_context)
+            # persistent: the worker process stays warm across jobs
+            scheduler.__enter__()
+            self._schedulers.append(scheduler)
+            thread = threading.Thread(
+                target=self._dispatch_loop, args=(scheduler,),
+                name="serve-dispatch-%d" % index, daemon=True)
+            thread.start()
+            self._dispatchers.append(thread)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self
+        self.port = self._httpd.server_address[1]
+        logger.info("repro serve on http://%s:%d (%s isolation, %d "
+                    "worker(s), cache %s)", self.config.host, self.port,
+                    self.config.isolation, len(self._dispatchers),
+                    self.cache_dir)
+
+    def serve_forever(self) -> None:
+        """Run the HTTP loop in the calling thread until drained."""
+        self.start()
+        self._serving = True
+        if self._stopped.is_set():  # drained before the loop even began
+            self._httpd.server_close()
+            return
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self._httpd.server_close()
+
+    def install_signal_handlers(self) -> None:
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum, frame) -> None:
+        logger.info("received signal %d; draining", signum)
+        # drain() joins threads and stops the HTTP loop — neither is
+        # safe inside the signal handler running on the serving thread
+        threading.Thread(target=self.drain, name="serve-drain",
+                         daemon=True).start()
+
+    def drain(self, grace: Optional[float] = None) -> bool:
+        """Stop admissions, finish the backlog, reap workers, stop HTTP.
+
+        Returns True when every dispatcher exited within ``grace``
+        seconds. Idempotent; safe to call from any non-serving thread.
+        """
+        grace = self.config.drain_grace if grace is None else grace
+        self._draining = True
+        self.queue.close()
+        deadline = time.monotonic() + max(0.0, grace)
+        clean = True
+        for thread in self._dispatchers:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+            clean = clean and not thread.is_alive()
+        if not clean:
+            logger.warning("drain grace (%.1fs) expired with jobs still "
+                           "running; scheduler pools will be terminated",
+                           grace)
+        for scheduler in self._schedulers:
+            scheduler.shutdown()
+        self._stopped.set()
+        # shutdown() blocks until serve_forever's loop exits, so it must
+        # only run when that loop is (or is about to be) running — the
+        # _serving/_stopped handshake covers a drain that races startup
+        if self._httpd is not None and self._serving:
+            self._httpd.shutdown()
+        return clean
+
+    def wait_stopped(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.config.host, self.port)
+
+    # -- job intake ----------------------------------------------------------
+
+    def submit_request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate + enqueue one request (the ``POST /v1/tune`` body).
+
+        Raises :class:`RequestError` (400), :class:`QueueFull` (429), or
+        :class:`QueueClosed` (503).
+        """
+        if self._draining:
+            raise QueueClosed("daemon is draining")
+        request = TuneRequest.from_payload(payload)
+        signature = request.signature()
+        job_payload = dict(request.as_payload(),
+                           cache_dir=self.cache_dir,
+                           cache_max_bytes=self.cache.max_bytes,
+                           cache_max_entries=self.cache.max_entries)
+        record = JobRecord(id="j%06d" % next(self._job_ids),
+                           request=request, signature=signature,
+                           payload=job_payload)
+        # single-flight preview: is the same problem already in flight?
+        coalesced = any(other.signature == signature
+                        and not other.finished
+                        for other in self.queue.jobs())
+        try:
+            self.queue.submit(record)
+        except QueueFull:
+            self.registry.counter("serve.rejected_full").inc()
+            raise
+        self.registry.counter("serve.jobs_submitted").inc()
+        self._set_queue_gauges()
+        logger.info("queued %s: %s%s", record.id, request.describe(),
+                    " (single-flight behind an identical job)"
+                    if coalesced else "")
+        return {"job": record.id, "state": record.state,
+                "signature": signature, "single_flight": coalesced,
+                "target": request.describe()}
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self, scheduler: SweepScheduler) -> None:
+        while True:
+            record = self.queue.next_job()
+            if record is None:
+                return
+            try:
+                self._execute(scheduler, record)
+            except BaseException:  # never lose a dispatcher thread
+                logger.exception("dispatcher crashed on job %s", record.id)
+                if not record.finished:
+                    record.state = FAILED
+                    record.error = "internal dispatcher error"
+                    record.finished_at = time.time()
+            finally:
+                self.queue.task_done()
+                self._set_queue_gauges()
+
+    def _execute(self, scheduler: SweepScheduler,
+                 record: JobRecord) -> None:
+        # single-flight: identical tuning problems serialize, so the
+        # first pays the tuning and the rest replay the shared cache
+        with self.queue.signature_lock(record.signature):
+            record.mark_running()
+            if self.config.isolation == "thread":
+                engine = TuningEngine(
+                    cache=TuningCache(self.cache_dir,
+                                      max_bytes=self.cache.max_bytes,
+                                      max_entries=self.cache.max_entries),
+                    stats=EngineStats())
+                record.live_stats = engine.stats
+                runner = lambda payload: run_tune_job(payload,  # noqa: E731
+                                                      engine=engine)
+            else:
+                runner = run_tune_job
+            results = scheduler.run(runner,
+                                    [Job(record.id, record.payload)])
+        record.finish(results[record.id])
+        self._account(record)
+
+    def _account(self, record: JobRecord) -> None:
+        counter = self.registry.counter
+        if record.state == FAILED:
+            counter("serve.jobs_failed").inc()
+            logger.warning("job %s failed: %s", record.id, record.error)
+            return
+        counter("serve.jobs_completed").inc()
+        result = record.result or {}
+        self.registry.histogram("serve.job_seconds").observe(
+            result.get("wall_seconds", 0.0))
+        if result.get("cache_hit"):
+            counter("serve.warm_jobs").inc()
+        for result_key, counter_name in _CACHE_COUNTERS:
+            amount = result.get("cache", {}).get(result_key, 0)
+            if amount:
+                counter(counter_name).inc(amount)
+        for stage, seconds in (result.get("stages") or {}).items():
+            self.registry.histogram("stage.%s" % stage).observe(seconds)
+        counters = self.registry.counter_values()
+        hits = counters.get("engine.cache.hit", 0)
+        misses = counters.get("engine.cache.miss", 0)
+        self.registry.gauge("serve.cache.hit_rate").set(
+            hits / (hits + misses) if hits + misses else 0.0)
+        logger.info("job %s done in %.2fs (%s)", record.id,
+                    result.get("wall_seconds", 0.0),
+                    "cache hit" if result.get("cache_hit")
+                    else "cold tuning")
+
+    def _set_queue_gauges(self) -> None:
+        counts = self.queue.counts()
+        self.registry.gauge("serve.queue_depth").set(counts["queued"])
+        self.registry.gauge("serve.running_jobs").set(counts["running"])
+
+    # -- read endpoints ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.queue.counts(),
+            "workers": len(self._dispatchers),
+            "isolation": self.config.isolation,
+            "queue_depth": self.config.queue_depth,
+            "cache_path": self.cache_dir,
+        }
+
+    def cache_stats(self) -> Dict[str, Any]:
+        counters = self.registry.counter_values()
+        hits = counters.get("engine.cache.hit", 0)
+        misses = counters.get("engine.cache.miss", 0)
+        occupancy = self.cache.stats()
+        return {
+            "hits": hits,
+            "misses": misses,
+            "stores": counters.get("engine.cache.store", 0),
+            "evictions": counters.get("engine.cache.evict", 0),
+            "dump_errors": counters.get("engine.cache.dump_errors", 0),
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "disk_entries": occupancy["disk_entries"],
+            "disk_bytes": occupancy["disk_bytes"],
+            "max_bytes": self.cache.max_bytes,
+            "max_entries": self.cache.max_entries,
+            "path": self.cache_dir,
+            "jobs": {
+                "submitted": counters.get("serve.jobs_submitted", 0),
+                "completed": counters.get("serve.jobs_completed", 0),
+                "failed": counters.get("serve.jobs_failed", 0),
+                "warm": counters.get("serve.warm_jobs", 0),
+                "rejected_full": counters.get("serve.rejected_full", 0),
+            },
+        }
+
+
+# -- HTTP plumbing -----------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`TuneServer`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        logger.debug("http %s", format % args)
+
+    @property
+    def app(self) -> TuneServer:
+        return self.server.app
+
+    def _json(self, code: int, payload: Dict[str, Any],
+              headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            return self._json(200, self.app.health())
+        if path == "/v1/cache/stats":
+            return self._json(200, self.app.cache_stats())
+        if path.startswith("/v1/jobs/"):
+            return self._job_route(path[len("/v1/jobs/"):])
+        return self._json(404, {"error": "no route %s" % path})
+
+    def _job_route(self, rest: str) -> None:
+        parts = rest.split("/")
+        record = self.app.queue.get(parts[0])
+        if record is None:
+            return self._json(404, {"error": "unknown job %r" % parts[0]})
+        if len(parts) == 1:
+            return self._json(200, record.status_dict())
+        if len(parts) == 2 and parts[1] == "result":
+            result = record.result_dict()
+            if result is not None:
+                return self._json(200, result)
+            status = record.status_dict()
+            if status["state"] == FAILED:
+                return self._json(200, status)
+            return self._json(202, status)  # not finished yet: poll on
+        return self._json(404, {"error": "no route under job %s"
+                                % parts[0]})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/v1/tune":
+            return self._json(404, {"error": "no route %s" % path})
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return self._json(400, {"error": "bad Content-Length"})
+        if length > MAX_BODY_BYTES:
+            return self._json(413, {"error": "request body over %d bytes"
+                                    % MAX_BODY_BYTES})
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError as error:
+            return self._json(400, {"error": "invalid JSON: %s" % error})
+        try:
+            return self._json(200, self.app.submit_request(payload))
+        except RequestError as error:
+            return self._json(400, {"error": str(error)})
+        except QueueFull as error:
+            return self._json(429, {"error": str(error)},
+                              headers={"Retry-After": "1"})
+        except QueueClosed as error:
+            return self._json(503, {"error": str(error)})

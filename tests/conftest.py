@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logger():
+    """Restore the ``repro`` logger after every test.
+
+    CLI entry points call ``configure_logging``, which attaches a
+    stderr handler (bound to pytest's captured — and later closed —
+    stream) and sets ``propagate=False`` on the ``repro`` logger. Left
+    in place, that state breaks ``caplog`` assertions and spews
+    "I/O operation on closed file" in every later test that logs.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    handlers = list(logger.handlers)
+    level = logger.level
+    propagate = logger.propagate
+    yield
+    for handler in logger.handlers:
+        if handler not in handlers:
+            handler.close()
+    logger.handlers = handlers
+    logger.setLevel(level)
+    logger.propagate = propagate

@@ -1,0 +1,508 @@
+"""Tests for the ``repro serve`` daemon: request schema, queue admission,
+single-flight coalescing, the HTTP API end to end, drain semantics, and
+the shared-cache regression paths (LRU eviction budgets, dump-error
+accounting)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.engine import TuningCache
+from repro.engine.cache import CACHE_MAX_ENV, CacheEntry, \
+    parse_cache_budget
+from repro.obs import metrics as obs_metrics
+from repro.serve import (JobQueue, QueueClosed, QueueFull, RequestError,
+                         ServeClient, ServeError, ServerConfig,
+                         TuneRequest, TuneServer, run_tune_job)
+from repro.serve.jobs import JobRecord
+
+SOURCE = """
+__global__ void scale(float *x, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) x[i] = x[i] * a;
+}
+"""
+
+SOURCE_REQUEST = {"source": SOURCE, "kernel": "scale", "arch": "a100",
+                  "grid": [64], "block": [64], "max_factor": 4}
+
+
+# -- request schema ----------------------------------------------------------
+
+
+class TestTuneRequest:
+    def test_benchmark_request_roundtrip(self):
+        request = TuneRequest.from_payload(
+            {"benchmark": "lud", "arch": "a100", "tier": "clang"})
+        assert request.benchmark == "lud"
+        assert request.arch == "NVIDIA A100"
+        assert request.tier == "clang"
+        again = TuneRequest.from_payload(request.as_payload())
+        assert again.signature() == request.signature()
+
+    def test_source_request_defaults(self):
+        request = TuneRequest.from_payload({"source": SOURCE})
+        assert request.arch == "NVIDIA A100"
+        assert request.grid == (1024,) and request.block == (256,)
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "exactly one"),
+        ({"benchmark": "lud", "source": SOURCE}, "exactly one"),
+        ({"benchmark": "nope"}, "unknown benchmark"),
+        ({"benchmark": "lud", "arch": "gtx9000"}, "no architecture"),
+        ({"benchmark": "lud", "tier": "llvm"}, "tier"),
+        ({"source": SOURCE, "grid": [0]}, "grid"),
+        ({"source": SOURCE, "block": "x,y"}, "block"),
+        ({"benchmark": "lud", "max_factor": 0}, "max_factor"),
+        ({"benchmark": "lud", "size": "big"}, "size"),
+        ("not a dict", "JSON object"),
+    ])
+    def test_invalid_payloads(self, payload, fragment):
+        with pytest.raises(RequestError, match=fragment):
+            TuneRequest.from_payload(payload)
+
+    def test_signature_separates_problems(self):
+        base = TuneRequest.from_payload({"benchmark": "lud"})
+        other_arch = TuneRequest.from_payload(
+            {"benchmark": "lud", "arch": "mi210"})
+        other_tier = TuneRequest.from_payload(
+            {"benchmark": "lud", "tier": "clang"})
+        signatures = {base.signature(), other_arch.signature(),
+                      other_tier.signature()}
+        assert len(signatures) == 3
+
+    def test_signature_uses_source_digest(self):
+        one = TuneRequest.from_payload({"source": SOURCE})
+        two = TuneRequest.from_payload({"source": SOURCE})
+        assert one.signature() == two.signature()
+        changed = TuneRequest.from_payload({"source": SOURCE + "// x\n"})
+        assert changed.signature() != one.signature()
+
+
+# -- queue admission ---------------------------------------------------------
+
+
+def _record(job_id="j1", signature="sig"):
+    request = TuneRequest.from_payload({"benchmark": "lud"})
+    return JobRecord(id=job_id, request=request, signature=signature,
+                     payload=request.as_payload())
+
+
+class TestJobQueue:
+    def test_depth_bound_counts_running_jobs(self):
+        queue = JobQueue(depth=2)
+        queue.submit(_record("a"))
+        queue.submit(_record("b"))
+        with pytest.raises(QueueFull):
+            queue.submit(_record("c"))
+        # pulling a job keeps it counted (running), so still full
+        assert queue.next_job().id == "a"
+        with pytest.raises(QueueFull):
+            queue.submit(_record("c"))
+        queue.task_done()
+        queue.submit(_record("c"))
+
+    def test_close_rejects_then_drains(self):
+        queue = JobQueue(depth=4)
+        queue.submit(_record("a"))
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.submit(_record("b"))
+        assert queue.next_job().id == "a"  # backlog still served
+        queue.task_done()
+        assert queue.next_job() is None    # then dispatchers retire
+
+    def test_close_wakes_blocked_dispatcher(self):
+        queue = JobQueue(depth=4)
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(queue.next_job()), daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive() and seen == [None]
+
+    def test_signature_locks_are_shared_and_bounded(self):
+        queue = JobQueue()
+        assert queue.signature_lock("s1") is queue.signature_lock("s1")
+        assert queue.signature_lock("s1") is not queue.signature_lock("s2")
+        for index in range(queue.LOCK_TABLE_CAP + 10):
+            queue.signature_lock("bulk-%d" % index)
+        assert len(queue._signature_locks) <= queue.LOCK_TABLE_CAP + 1
+
+    def test_counts_tracks_lifecycle(self):
+        queue = JobQueue()
+        record = _record("a")
+        queue.submit(record)
+        assert queue.counts()["queued"] == 1
+        queue.next_job()
+        assert queue.counts()["running"] == 1
+        assert not queue.idle()
+        queue.task_done()
+        assert queue.idle()
+
+
+# -- cache budgets and failure accounting (the bugfix sweep) -----------------
+
+
+class TestCacheBudgets:
+    @pytest.mark.parametrize("text,expect", [
+        (None, (None, None)),
+        ("", (None, None)),
+        ("4096", (4096, None)),
+        ("64k", (64 * 1024, None)),
+        ("1.5m", (int(1.5 * 1024 ** 2), None)),
+        ("2g", (2 * 1024 ** 3, None)),
+        ("12e", (None, 12)),
+        ("banana", (None, None)),   # warned about, never fatal
+    ])
+    def test_parse_cache_budget(self, text, expect):
+        assert parse_cache_budget(text) == expect
+
+    def test_env_budget_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_ENV, "3e")
+        cache = TuningCache(str(tmp_path))
+        assert cache.max_entries == 3 and cache.max_bytes is None
+
+    def test_entry_budget_evicts_lru_on_disk(self, tmp_path):
+        cache = TuningCache(str(tmp_path), max_entries=2)
+        for index in range(4):
+            cache.store("key%d" % index, CacheEntry(None, {"i": index}))
+            time.sleep(0.01)  # distinct mtimes on coarse filesystems
+        assert cache.disk_entries() == 2
+        # the newest stores survive; the oldest were evicted
+        assert cache.lookup("key3")[0] and cache.lookup("key2")[0]
+        assert cache.stats()["evictions"] == 2
+
+    def test_byte_budget_never_evicts_fresh_store(self, tmp_path):
+        cache = TuningCache(str(tmp_path), max_bytes=1)
+        cache.store("only", CacheEntry(None, {"cfg": 1}))
+        # over budget, but the entry just written is never the victim
+        assert cache.lookup("only")[0]
+
+    def test_disk_hit_refreshes_lru_position(self, tmp_path):
+        cache = TuningCache(str(tmp_path), max_entries=2)
+        cache.store("old", CacheEntry(None, {"i": 0}))
+        time.sleep(0.01)
+        cache.store("mid", CacheEntry(None, {"i": 1}))
+        time.sleep(0.01)
+        # a fresh reader hits "old" from disk, touching its mtime
+        reader = TuningCache(str(tmp_path), max_entries=2)
+        assert reader.lookup("old")[0]
+        time.sleep(0.01)
+        cache.store("new", CacheEntry(None, {"i": 2}))
+        assert cache.lookup("old")[0]      # refreshed, survived
+        assert not cache.lookup("mid")[0]  # became the LRU victim
+
+    def test_eviction_stable_under_concurrent_writers(self, tmp_path):
+        caches = [TuningCache(str(tmp_path), max_entries=4)
+                  for _ in range(4)]
+        errors = []
+
+        def writer(cache, base):
+            try:
+                for index in range(12):
+                    cache.store("k%d-%d" % (base, index),
+                                CacheEntry(None, {"i": index}))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(cache, base))
+                   for base, cache in enumerate(caches)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # budget respected (small slack for in-flight racing stores)
+        assert caches[0].disk_entries() <= 6
+        total_evictions = sum(c.stats()["evictions"] for c in caches)
+        assert total_evictions >= 48 - 6
+
+    def test_dump_error_counted_and_warned_once(self, tmp_path, caplog):
+        cache = TuningCache(str(tmp_path))
+        # a regular file where the cache dir should be makes every dump
+        # fail with NotADirectoryError (an OSError) even when running
+        # as root, unlike permission bits
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        cache.path = str(blocker)
+        with obs_metrics.collecting() as registry:
+            with caplog.at_level("WARNING", logger="repro.engine.cache"):
+                cache.store("k1", CacheEntry(None, {"a": 1}))
+                cache.store("k2", CacheEntry(None, {"a": 2}))
+        assert cache.dump_errors == 2
+        assert cache.stats()["dump_errors"] == 2
+        assert registry.counter_value("engine.cache.dump_errors") == 2
+        warnings = [r for r in caplog.records
+                    if "cannot persist tuning cache" in r.message]
+        assert len(warnings) == 1  # loud once, quiet after
+
+    def test_metrics_counters_on_installed_registry(self, tmp_path):
+        with obs_metrics.collecting() as registry:
+            cache = TuningCache(str(tmp_path), max_entries=1)
+            cache.store("a", CacheEntry(None, {}))
+            time.sleep(0.01)
+            cache.store("b", CacheEntry(None, {}))   # evicts "a"
+            cache.lookup("b")
+            cache.lookup("missing")
+        counters = registry.counter_values()
+        assert counters["engine.cache.store"] == 2
+        assert counters["engine.cache.hit"] == 1
+        assert counters["engine.cache.miss"] == 1
+        assert counters["engine.cache.evict"] == 1
+
+
+# -- the job runner ----------------------------------------------------------
+
+
+class TestRunTuneJob:
+    def test_source_job_cold_then_warm(self, tmp_path):
+        payload = dict(
+            TuneRequest.from_payload(SOURCE_REQUEST).as_payload(),
+            cache_dir=str(tmp_path))
+        cold = run_tune_job(payload)
+        assert cold["seconds"] > 0
+        assert not cold["cache_hit"]
+        assert cold["cache"]["misses"] >= 1
+        assert cold["winners"], "TDO decision log should name a winner"
+        warm = run_tune_job(payload)
+        assert warm["cache_hit"]
+        assert warm["cache"]["misses"] == 0
+        assert warm["seconds"] == pytest.approx(cold["seconds"])
+
+    def test_source_without_kernels_fails(self, tmp_path):
+        payload = dict(TuneRequest.from_payload(
+            {"source": "int main() { return 0; }"}).as_payload(),
+            cache_dir=str(tmp_path))
+        with pytest.raises(RequestError, match="__global__"):
+            run_tune_job(payload)
+
+
+# -- the daemon over HTTP ----------------------------------------------------
+
+
+def _start_server(**overrides):
+    config = dict(port=0, workers=2, isolation="thread",
+                  queue_depth=8, drain_grace=20.0)
+    config.update(overrides)
+    server = TuneServer(ServerConfig(**config))
+    server.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(server.url, timeout=10.0)
+    deadline = time.monotonic() + 10
+    while not client.alive():
+        assert time.monotonic() < deadline, "daemon never came up"
+        time.sleep(0.05)
+    return server, client
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    server, client = _start_server(cache_dir=str(tmp_path / "cache"))
+    yield server, client
+    server.drain(grace=20.0)
+
+
+class TestDaemonHTTP:
+    def test_submit_status_result_roundtrip(self, daemon):
+        server, client = daemon
+        submitted = client.submit(SOURCE_REQUEST)
+        assert submitted["state"] == "queued"
+        assert not submitted["single_flight"]
+        result = client.wait(submitted["job"], timeout=60)
+        assert result["state"] == "done"
+        assert result["seconds"] > 0
+        assert result["decisions"], "result must carry the decision log"
+        status = client.job(submitted["job"])
+        assert status["state"] == "done"
+        assert status["cache_hit"] is False
+
+    def test_second_identical_request_is_warm(self, daemon):
+        server, client = daemon
+        first = client.wait(client.submit(SOURCE_REQUEST)["job"],
+                            timeout=60)
+        second = client.wait(client.submit(SOURCE_REQUEST)["job"],
+                             timeout=60)
+        assert not first["cache_hit"]
+        assert second["cache_hit"]
+        assert second["cache"]["misses"] == 0
+        stats = client.cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+        assert stats["jobs"]["completed"] == 2
+        assert stats["jobs"]["warm"] == 1
+        assert stats["disk_entries"] >= 1
+
+    def test_concurrent_identical_requests_single_flight(self, tmp_path):
+        server, client = _start_server(
+            cache_dir=str(tmp_path / "cache"), workers=4, queue_depth=16)
+        try:
+            results, errors = [], []
+
+            def one_client():
+                try:
+                    local = ServeClient(server.url, timeout=10.0)
+                    job = local.submit(SOURCE_REQUEST)["job"]
+                    results.append(local.wait(job, timeout=120))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=one_client)
+                       for _ in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+            assert len(results) == 5
+            # one tuning run, N-1 replayed from the shared cache
+            cold = [r for r in results if not r["cache_hit"]]
+            warm = [r for r in results if r["cache_hit"]]
+            assert len(cold) == 1 and len(warm) == 4
+            assert all(r["seconds"] ==
+                       pytest.approx(cold[0]["seconds"])
+                       for r in warm)
+            stats = server.cache_stats()
+            assert stats["jobs"]["completed"] == 5
+            assert stats["jobs"]["warm"] == 4
+        finally:
+            server.drain(grace=20.0)
+
+    def test_bad_request_is_400(self, daemon):
+        server, client = daemon
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"benchmark": "nope"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({})
+        assert excinfo.value.status == 400
+
+    def test_unknown_routes_and_jobs_are_404(self, daemon):
+        server, client = daemon
+        for path in ("/v1/jobs/j999999", "/v1/nope"):
+            with pytest.raises(ServeError) as excinfo:
+                client._call(path)
+            assert excinfo.value.status == 404
+
+    def test_malformed_json_is_400(self, daemon):
+        server, client = daemon
+        request = urllib.request.Request(
+            server.url + "/v1/tune", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_healthz(self, daemon):
+        server, client = daemon
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["isolation"] == "thread"
+
+
+class TestAdmissionControl:
+    def test_queue_full_maps_to_429(self, tmp_path, monkeypatch):
+        import repro.serve.server as server_module
+        release = threading.Event()
+
+        def stalled_job(payload, engine=None):
+            release.wait(30)
+            return run_tune_job(payload, engine=engine)
+
+        monkeypatch.setattr(server_module, "run_tune_job", stalled_job)
+        server, client = _start_server(
+            cache_dir=str(tmp_path / "cache"), workers=1, queue_depth=1)
+        try:
+            first = client.submit(SOURCE_REQUEST)
+            # depth 1: the stalled job saturates queued+running
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(SOURCE_REQUEST)
+            assert excinfo.value.status == 429
+            assert server.cache_stats()["jobs"]["rejected_full"] == 1
+            release.set()
+            assert client.wait(first["job"], timeout=60)["state"] == "done"
+        finally:
+            release.set()
+            server.drain(grace=20.0)
+
+    def test_draining_maps_to_503(self, tmp_path):
+        server, client = _start_server(cache_dir=str(tmp_path / "cache"))
+        try:
+            job = client.submit(SOURCE_REQUEST)["job"]
+            drainer = threading.Thread(target=server.drain, daemon=True)
+            drainer.start()
+            deadline = time.monotonic() + 10
+            while not server.draining:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            # admissions closed while the backlog still completes
+            with pytest.raises((ServeError, OSError)) as excinfo:
+                ServeClient(server.url, timeout=5.0).submit(SOURCE_REQUEST)
+            if isinstance(excinfo.value, ServeError) \
+                    and excinfo.value.status:
+                assert excinfo.value.status == 503
+            drainer.join(timeout=30)
+            assert not drainer.is_alive()
+            record = server.queue.get(job)
+            assert record is not None and record.finished
+        finally:
+            if not server._stopped.is_set():
+                server.drain(grace=20.0)
+
+    def test_drain_reaps_scheduler_pools(self, tmp_path):
+        server, client = _start_server(cache_dir=str(tmp_path / "cache"))
+        client.wait(client.submit(SOURCE_REQUEST)["job"], timeout=60)
+        assert server.drain(grace=20.0)
+        assert all(s.pool_size == 0 for s in server._schedulers)
+        assert server.queue.closed
+
+
+# -- real process: SIGTERM drain, CLI round trip -----------------------------
+
+
+@pytest.mark.slow
+class TestServeProcess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        ready = tmp_path / "ready"
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(os.path.dirname(__file__),
+                                           os.pardir, "src"))
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--isolation", "thread",
+             "--cache", str(tmp_path / "cache"),
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists() or not ready.read_text().strip():
+                assert daemon.poll() is None, daemon.stdout.read()
+                assert time.monotonic() < deadline, "daemon never ready"
+                time.sleep(0.1)
+            url = ready.read_text().strip()
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "--url", url,
+                 "--benchmark", "lud", "--arch", "a100",
+                 "--max-factor", "4", "--wait", "120"],
+                env=env, capture_output=True, text=True, timeout=150)
+            assert submit.returncode == 0, submit.stderr
+            assert "warm=no" in submit.stdout
+            daemon.send_signal(signal.SIGTERM)
+            output, _ = daemon.communicate(timeout=60)
+            assert daemon.returncode == 0, output
+            assert "drained" in output
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=30)

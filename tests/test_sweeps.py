@@ -49,6 +49,8 @@ def _dispatch(payload):
         if os.getpid() != payload["pid"]:
             os._exit(7)
         return "in-parent"
+    if kind == "pid":
+        return os.getpid()
     raise KeyError(kind)
 
 
@@ -165,6 +167,50 @@ class TestSchedulerFailures:
         results = scheduler.run(_dispatch, jobs)
         assert not results["bad"].ok
         assert results["bad"].attempts == 2
+
+
+class TestSchedulerLifecycle:
+    def test_context_manager_reuses_warm_pool(self):
+        jobs = [Job("p", {"kind": "pid"})]
+        with SweepScheduler(workers=1, isolate=True) as scheduler:
+            first = scheduler.run(_dispatch, jobs)["p"].value
+            second = scheduler.run(_dispatch, jobs)["p"].value
+            assert scheduler.pool_size == 1
+        # same worker process served both runs — the pool persisted
+        assert first == second
+        assert first != os.getpid()
+        assert scheduler.pool_size == 0  # __exit__ reaped it
+
+    def test_isolate_forces_worker_process_for_single_job(self):
+        scheduler = SweepScheduler(workers=1, isolate=True)
+        pid = scheduler.run(_dispatch, [Job("p", {"kind": "pid"})])
+        assert pid["p"].value != os.getpid()
+        assert scheduler.pool_size == 0  # non-persistent run cleans up
+
+    def test_without_isolate_single_job_runs_in_process(self):
+        scheduler = SweepScheduler(workers=1)
+        pid = scheduler.run(_dispatch, [Job("p", {"kind": "pid"})])
+        assert pid["p"].value == os.getpid()
+
+    def test_crash_recovery_respawns_pooled_worker(self):
+        with SweepScheduler(workers=1, isolate=True, retries=0,
+                            degrade=False) as scheduler:
+            crashed = scheduler.run(_dispatch,
+                                    [Job("x", {"kind": "exit"})])
+            assert not crashed["x"].ok
+            # the replacement worker serves the next run
+            again = scheduler.run(_dispatch, [Job("p", {"kind": "pid"})])
+            assert again["p"].ok
+
+    def test_shutdown_is_idempotent_and_unregisters(self):
+        from repro.engine.scheduler import _live_pools
+        scheduler = SweepScheduler(workers=1, isolate=True)
+        with scheduler:
+            scheduler.run(_dispatch, [Job("p", {"kind": "pid"})])
+            assert scheduler in _live_pools
+        assert scheduler not in _live_pools
+        scheduler.shutdown()  # second shutdown must be a no-op
+        assert scheduler.pool_size == 0
 
 
 # -- concurrent on-disk cache stress -----------------------------------------
