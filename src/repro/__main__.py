@@ -461,7 +461,7 @@ def cmd_serve(args) -> int:
         queue_depth=args.queue_depth, job_timeout=args.timeout,
         retries=args.retries, isolation=args.isolation,
         cache_dir=args.cache, cache_max=args.cache_max,
-        drain_grace=args.drain_grace))
+        drain_grace=args.drain_grace, ledger=not args.no_ledger))
     server.start()
     server.install_signal_handlers()
     if args.ready_file:
@@ -496,7 +496,8 @@ def cmd_submit(args) -> int:
     if args.size is not None:
         request["size"] = args.size
 
-    client = ServeClient(args.url, timeout=args.http_timeout)
+    client = ServeClient(args.url, timeout=args.http_timeout,
+                         retries=args.http_retries)
     try:
         submitted = client.submit(request)
         if args.no_wait:
@@ -676,7 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 32)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-job wall-clock limit in seconds "
-                            "(process isolation only)")
+                            "(enforced in both isolation modes)")
     serve.add_argument("--retries", type=int, default=1,
                        help="retry budget per job (default 1)")
     serve.add_argument("--isolation", choices=("process", "thread"),
@@ -694,6 +695,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-grace", type=float, default=30.0,
                        help="seconds to finish the backlog on "
                             "SIGTERM/SIGINT (default 30)")
+    serve.add_argument("--no-ledger", action="store_true",
+                       help="disable the durable job ledger (jobs then "
+                            "do not survive a daemon restart)")
     serve.add_argument("--ready-file", metavar="FILE",
                        help="write the bound URL here once listening")
     serve.set_defaults(fn=cmd_serve)
@@ -724,6 +728,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="just queue the job and print its id")
     submit.add_argument("--http-timeout", type=float, default=30.0,
                         help="per-request HTTP timeout (default 30)")
+    submit.add_argument("--http-retries", type=int, default=2,
+                        help="retry budget for 429/503 responses, with "
+                             "exponential backoff honoring Retry-After "
+                             "(default 2; 0 fails fast)")
     submit.add_argument("--json", metavar="FILE",
                         help="write the full result (incl. the decision "
                              "log) as JSON")

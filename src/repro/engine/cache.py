@@ -18,7 +18,7 @@ cache across every client):
 
 * every lookup/store is **counted** — instance totals via
   :meth:`TuningCache.stats` plus ``engine.cache.{hit,miss,evict,store,
-  dump_errors}`` counters on the installed
+  dump_errors,quarantined}`` counters on the installed
   :mod:`repro.obs.metrics` registry;
 * the on-disk store is **bounded**: an LRU byte budget (and optional
   entry budget) is enforced at :meth:`store` time, configured by
@@ -29,7 +29,11 @@ cache across every client):
   racing removals tolerate losing;
 * a failing dump (full disk, read-only cache dir) is **loud**: warned
   once per cache instance and counted, instead of silently degrading to
-  0% warm replay.
+  0% warm replay;
+* a bad entry (torn write, corrupt JSON, stale :data:`ENTRY_SCHEMA`) is
+  **quarantined**, never deleted: renamed to ``<key>.json.quarantine``
+  and counted, so the key re-tunes cleanly while the evidence survives
+  for postmortems.
 """
 
 from __future__ import annotations
@@ -44,8 +48,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
+
+#: on-disk entry schema version; entries written by an older (or newer)
+#: schema are quarantined and re-tuned rather than misread
+ENTRY_SCHEMA = 2
 
 #: environment variable naming the on-disk cache directory
 CACHE_DIR_ENV = "REPRO_TUNING_CACHE"
@@ -151,7 +160,8 @@ def entry_to_dict(entry: CacheEntry) -> Dict[str, object]:
     outcome = None
     if entry.outcome is not None:
         outcome = asdict(entry.outcome)
-    return {"outcome": outcome, "selected_config": entry.selected_config}
+    return {"schema": ENTRY_SCHEMA, "outcome": outcome,
+            "selected_config": entry.selected_config}
 
 
 def entry_from_dict(data: Dict[str, object]) -> CacheEntry:
@@ -197,6 +207,7 @@ class TuningCache:
         self.stores = 0
         self.evictions = 0
         self.dump_errors = 0
+        self.quarantined = 0
         self._dump_error_logged = False
         if path:
             os.makedirs(path, exist_ok=True)
@@ -248,7 +259,8 @@ class TuningCache:
             self._memory.clear()
         if self.path and os.path.isdir(self.path):
             for name in os.listdir(self.path):
-                if name.endswith(".json") or name.endswith(".tmp"):
+                if name.endswith(".json") or name.endswith(".tmp") \
+                        or name.endswith(".quarantine"):
                     try:
                         os.remove(os.path.join(self.path, name))
                     except OSError:
@@ -278,6 +290,7 @@ class TuningCache:
                 "stores": self.stores,
                 "evictions": self.evictions,
                 "dump_errors": self.dump_errors,
+                "quarantined": self.quarantined,
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
                 "entries": len(self._memory),
             }
@@ -377,21 +390,41 @@ class TuningCache:
         except OSError:
             pass  # entry evicted between read and touch
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Rename a bad entry aside instead of deleting the evidence.
+
+        The key misses (and re-tunes) exactly as if the entry were gone,
+        but the bytes survive as ``<entry>.quarantine`` for postmortems
+        — a corrupt entry is a bug report about some writer, and deleting
+        it destroys the only copy.
+        """
+        try:
+            os.replace(path, path + ".quarantine")
+        except OSError:
+            return  # concurrently evicted or already quarantined
+        with self._lock:
+            self.quarantined += 1
+        obs_metrics.inc("engine.cache.quarantined")
+        logger.warning("quarantined cache entry %s (%s); the key will "
+                       "be re-tuned", path, reason)
+
     def _load(self, key: str) -> Optional[CacheEntry]:
         path = self._file(key)
         try:
+            spec = faults.maybe_fault("engine.cache.load")
+            if spec is not None and spec.kind == "truncate":
+                _truncate_file(path)  # simulate reading a torn write
             with open(path) as handle:
-                return entry_from_dict(json.load(handle))
+                data = json.load(handle)
+            schema = data.get("schema", 1)
+            if schema != ENTRY_SCHEMA:
+                self._quarantine(path, "stale schema %r" % schema)
+                return None
+            return entry_from_dict(data)
         except OSError:
             return None  # not on disk (or unreadable): a plain miss
         except (ValueError, KeyError, TypeError):
-            # corrupt or stale-schema entry: delete it so the key can be
-            # re-tuned and re-stored instead of missing on every lookup
-            logger.warning("deleting corrupt cache entry %s", path)
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._quarantine(path, "corrupt entry")
             return None
 
     def _dump(self, key: str, entry: CacheEntry) -> None:
@@ -401,12 +434,15 @@ class TuningCache:
         target = self._file(key)
         tmp = None
         try:
+            spec = faults.maybe_fault("engine.cache.dump")
             fd, tmp = tempfile.mkstemp(dir=self.path,
                                        prefix=key[:16] + ".",
                                        suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry_to_dict(entry), handle)
             os.replace(tmp, target)
+            if spec is not None and spec.kind == "truncate":
+                _truncate_file(target)  # publish a torn write
         except OSError as error:
             # a full disk or read-only cache dir silently degrades every
             # future run to 0% warm replay — say so once, count always
@@ -428,6 +464,16 @@ class TuningCache:
                     os.remove(tmp)
                 except OSError:
                     pass
+
+
+def _truncate_file(path: str) -> None:
+    """Cut a file in half in place: the injected torn-write shape."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+    except OSError:
+        pass
 
 
 def default_cache_path() -> Optional[str]:

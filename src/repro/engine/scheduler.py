@@ -38,12 +38,14 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from .. import faults
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 
@@ -127,6 +129,7 @@ class _JobState:
 
 def _worker_main(tasks, results) -> None:
     """Worker loop: one job at a time from a private queue; None stops."""
+    faults.mark_worker_process()  # ``die`` faults may kill this process
     while True:
         item = tasks.get()
         if item is None:
@@ -134,6 +137,7 @@ def _worker_main(tasks, results) -> None:
         ticket, runner, payload = item
         start = time.perf_counter()
         try:
+            faults.maybe_fault("scheduler.worker")
             value = runner(payload)
             results.put((ticket, True, value,
                          time.perf_counter() - start, ""))
@@ -288,22 +292,66 @@ class SweepScheduler:
     # -- sequential fallback ------------------------------------------------
 
     def _run_sequential(self, runner, jobs) -> Dict[str, JobResult]:
-        """In-process execution (no timeout enforcement, no retries)."""
+        """In-process execution (no retries; the deadline still holds).
+
+        When ``timeout`` is set, each attempt runs in a helper thread
+        that is **abandoned** on deadline — Python cannot kill a thread,
+        but the job is marked failed (counted in ``sweep.timeouts``) and
+        the sweep moves on instead of hanging. The ``repro serve``
+        ``--isolation thread`` mode relies on this for its per-job
+        deadline.
+        """
         done = {}
         for job in jobs:
-            start = time.perf_counter()
+            done[job.key] = self._run_inline(runner, job)
+        return done
+
+    def _run_inline(self, runner, job: Job) -> JobResult:
+        start = time.perf_counter()
+        if self.timeout is None:
             try:
+                faults.maybe_fault("scheduler.worker")
                 value = runner(job.payload)
                 result = JobResult(job.key, "ok", value,
-                                   time.perf_counter() - start, attempts=1)
+                                   time.perf_counter() - start,
+                                   attempts=1)
             except Exception as error:
                 result = JobResult(
                     job.key, "failed", None,
                     time.perf_counter() - start, attempts=1,
                     error="%s: %s" % (type(error).__name__, error))
             self._record(result)
-            done[job.key] = result
-        return done
+            return result
+        box: Dict[str, Any] = {}
+
+        def _attempt() -> None:
+            try:
+                faults.maybe_fault("scheduler.worker")
+                box["value"] = runner(job.payload)
+            except BaseException as error:  # report into the box
+                box["error"] = "%s: %s" % (type(error).__name__, error)
+
+        thread = threading.Thread(target=_attempt, daemon=True,
+                                  name="sweep-inline-%s" % job.key)
+        thread.start()
+        thread.join(self.timeout)
+        seconds = time.perf_counter() - start
+        if thread.is_alive():
+            obs_metrics.inc("sweep.timeouts")
+            logger.warning("job %s timeout after %.1fs; abandoning the "
+                           "in-process thread", job.key, seconds)
+            result = JobResult(
+                job.key, "failed", None, seconds, attempts=1, timeouts=1,
+                error="timeout after %.1fs (in-process thread abandoned)"
+                % self.timeout)
+        elif "error" in box:
+            result = JobResult(job.key, "failed", None, seconds,
+                               attempts=1, error=box["error"])
+        else:
+            result = JobResult(job.key, "ok", box.get("value"), seconds,
+                               attempts=1)
+        self._record(result)
+        return result
 
     # -- process pool -------------------------------------------------------
 

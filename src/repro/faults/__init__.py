@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the serving/tuning stack.
+
+The robustness claim behind ``repro serve`` — no hang, no corrupt cache
+entry ever served, no lost accepted job — is only worth making if it is
+*tested against the failures it claims to survive*. This package turns
+those failures into data: a seedable :class:`FaultPlan` ("on the Nth
+call to site X, raise / kill the worker / truncate the bytes / sleep
+past the deadline") installed process-wide or shipped to worker
+processes via ``$REPRO_FAULT_PLAN``, fired at named injection points
+(:data:`SITES`) threaded through :class:`~repro.engine.cache.TuningCache`
+persistence, :class:`~repro.engine.scheduler.SweepScheduler` dispatch,
+and the serve queue/dispatcher/ledger.
+
+See ``docs/SERVE.md`` for the fault matrix and the chaos-campaign
+invariants (``tests/test_chaos.py``).
+"""
+
+from .plan import (DIE_EXIT_CODE, FAULT_PLAN_ENV, SITE_KINDS, SITES,
+                   FaultError, FaultPlan, FaultSpec, active_plan,
+                   fault_point, install_plan, mark_worker_process,
+                   maybe_fault, uninstall_plan)
+
+__all__ = [
+    "DIE_EXIT_CODE", "FAULT_PLAN_ENV", "FaultError", "FaultPlan",
+    "FaultSpec", "SITES", "SITE_KINDS", "active_plan", "fault_point",
+    "install_plan", "mark_worker_process", "maybe_fault",
+    "uninstall_plan",
+]

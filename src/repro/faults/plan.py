@@ -1,0 +1,293 @@
+"""Deterministic, seedable fault plans and their injection points.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers — "on the
+Nth call to site X, do Y" — installed process-wide (or shipped to worker
+processes through ``$REPRO_FAULT_PLAN``). Code under test declares named
+**injection points** by calling :func:`maybe_fault`; when no plan is
+installed that call is two attribute loads and a ``None`` check, so the
+production hot paths pay nothing.
+
+Determinism is the whole point: the same seed always produces the same
+specs, each site keeps its own thread-safe call counter, and a spec
+fires exactly once (on its configured call number). A chaos campaign is
+therefore *replayable* — a failing seed is a bug report, not a flake.
+
+Fault kinds (gated per site by :data:`SITE_KINDS` so an in-daemon site
+can never be asked to kill the whole process):
+
+* ``raise``    — raise :class:`FaultError` (an :class:`OSError`), the
+  shape of a full disk / unreadable file / dead socket;
+* ``truncate`` — site-specific data damage: the cache sites cut the
+  entry file in half, simulating a torn write published by a crashed
+  writer (the bytes that survive ``kill -9`` mid-``write``);
+* ``die``      — ``os._exit``: the SIGKILL / OOM-kill shape, only legal
+  inside scheduler worker processes;
+* ``sleep``    — stall past a deadline to exercise timeout enforcement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
+logger = get_logger("faults")
+
+#: environment variable carrying a JSON-encoded plan into worker processes
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: the named injection points threaded through the pipeline
+SITES = (
+    "engine.cache.dump",      # TuningCache._dump: persist one entry
+    "engine.cache.load",      # TuningCache._load: read one entry
+    "scheduler.worker",       # SweepScheduler worker/in-process dispatch
+    "serve.queue.submit",     # JobQueue.submit: admission
+    "serve.dispatch",         # TuneServer dispatcher: before execution
+    "serve.ledger.append",    # JobLedger.append: one WAL record
+)
+
+#: which fault kinds are legal at which site — ``die`` is only legal
+#: where the dying process is an isolated worker, never the daemon
+SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "engine.cache.dump": ("raise", "truncate", "sleep"),
+    "engine.cache.load": ("raise", "truncate", "sleep"),
+    "scheduler.worker": ("raise", "die", "sleep"),
+    "serve.queue.submit": ("raise",),
+    "serve.dispatch": ("raise", "sleep"),
+    "serve.ledger.append": ("raise", "sleep"),
+}
+
+#: exit code used by ``die`` so a chaos harness can recognize its kills
+DIE_EXIT_CODE = 86
+
+
+class FaultError(OSError):
+    """The injected exception; an :class:`OSError` so the sites'
+    existing failure handling (cache dump errors, ledger append errors)
+    treats it exactly like the real fault it stands in for."""
+
+    injected = True
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: on the ``call``-th hit of ``site``, do ``kind``."""
+
+    site: str
+    call: int                 # 1-based call number at the site
+    kind: str                 # "raise" | "truncate" | "die" | "sleep"
+    seconds: float = 0.0      # sleep duration for kind == "sleep"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"site": self.site, "call": self.call, "kind": self.kind,
+                "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        return cls(site=str(data["site"]), call=int(data["call"]),
+                   kind=str(data["kind"]),
+                   seconds=float(data.get("seconds", 0.0)))
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` plus per-site call counters.
+
+    Thread-safe; every process holds its own counters (a plan shipped to
+    a worker process through the environment counts that worker's calls,
+    which keeps campaigns deterministic per process).
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec],
+                 seed: Optional[int] = None):
+        self.specs = list(specs)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        #: specs that actually fired, in firing order
+        self.fired: List[FaultSpec] = []
+        self._by_site: Dict[str, Dict[int, FaultSpec]] = {}
+        for spec in self.specs:
+            if spec.site not in SITE_KINDS:
+                raise ValueError("unknown fault site %r (have: %s)" %
+                                 (spec.site, ", ".join(SITES)))
+            if spec.kind not in SITE_KINDS[spec.site]:
+                raise ValueError("fault kind %r not legal at site %r" %
+                                 (spec.kind, spec.site))
+            self._by_site.setdefault(spec.site, {})[spec.call] = spec
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def seeded(cls, seed: int, sites: Sequence[str] = SITES,
+               faults: int = 8, max_call: int = 5,
+               forbid: Iterable[str] = (),
+               max_sleep: float = 0.2) -> "FaultPlan":
+        """A deterministic random plan: same seed, same specs.
+
+        ``forbid`` removes fault kinds globally (a thread-isolation
+        campaign forbids ``die``; a latency-sensitive one forbids
+        ``sleep``). Sites whose legal kinds are all forbidden are
+        skipped.
+        """
+        rng = random.Random(seed)
+        forbid = set(forbid)
+        usable = [site for site in sites
+                  if set(SITE_KINDS[site]) - forbid]
+        if not usable:
+            raise ValueError("every fault kind is forbidden")
+        specs: List[FaultSpec] = []
+        used = set()
+        for _ in range(faults * 4):         # bounded retry on collisions
+            if len(specs) >= faults:
+                break
+            site = rng.choice(usable)
+            call = rng.randint(1, max_call)
+            if (site, call) in used:
+                continue
+            used.add((site, call))
+            kind = rng.choice([k for k in SITE_KINDS[site]
+                               if k not in forbid])
+            seconds = round(rng.uniform(0.01, max_sleep), 3) \
+                if kind == "sleep" else 0.0
+            specs.append(FaultSpec(site, call, kind, seconds))
+        return cls(specs, seed=seed)
+
+    # -- serialization (for $REPRO_FAULT_PLAN) -------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed,
+                           "specs": [s.as_dict() for s in self.specs]},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls([FaultSpec.from_dict(s) for s in data["specs"]],
+                   seed=data.get("seed"))
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, site: str) -> Optional[FaultSpec]:
+        """Count one hit of ``site``; return the spec that fires, if any."""
+        with self._lock:
+            count = self._hits.get(site, 0) + 1
+            self._hits[site] = count
+            spec = self._by_site.get(site, {}).get(count)
+            if spec is not None:
+                self.fired.append(spec)
+            return spec
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "specs": len(self.specs),
+                "fired": [s.as_dict() for s in self.fired],
+                "site_hits": dict(self._hits),
+            }
+
+
+# -- the installed plan ------------------------------------------------------
+
+_active: Optional[FaultPlan] = None
+#: memoized (raw env text, parsed plan) so workers parse JSON once
+_env_plan: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+#: True only in sacrificial scheduler worker processes — the one place
+#: a ``die`` fault is allowed to actually kill the process
+_worker_process = False
+
+
+def mark_worker_process() -> None:
+    """Declare this process a sacrificial worker.
+
+    :func:`maybe_fault` only honors ``die`` after this is called;
+    anywhere else (the daemon, a test runner) ``die`` is demoted to
+    ``raise`` so a mis-scoped plan cannot take down the wrong process.
+    """
+    global _worker_process
+    _worker_process = True
+
+
+def install_plan(plan: FaultPlan, env: bool = False) -> FaultPlan:
+    """Install ``plan`` process-wide; ``env=True`` also exports it to
+    ``$REPRO_FAULT_PLAN`` so scheduler worker processes inherit it."""
+    global _active
+    _active = plan
+    if env:
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+    return plan
+
+
+def uninstall_plan() -> None:
+    global _active
+    _active = None
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, falling back to ``$REPRO_FAULT_PLAN``."""
+    if _active is not None:
+        return _active
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    global _env_plan
+    if _env_plan[0] != raw:
+        try:
+            _env_plan = (raw, FaultPlan.from_json(raw))
+        except (ValueError, KeyError, TypeError):
+            logger.warning("ignoring malformed %s", FAULT_PLAN_ENV)
+            _env_plan = (raw, None)
+    return _env_plan[1]
+
+
+def fault_point(site: str) -> Optional[FaultSpec]:
+    """Count one hit of ``site`` against the active plan (if any).
+
+    Returns the spec that fires without acting on it; most sites want
+    :func:`maybe_fault` instead.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    spec = plan.fire(site)
+    if spec is None:
+        return None
+    obs_metrics.inc("faults.injected")
+    obs_metrics.inc("faults.%s" % site)
+    logger.warning("injecting fault at %s (call %d): %s", site,
+                   spec.call, spec.kind)
+    return spec
+
+
+def maybe_fault(site: str) -> Optional[FaultSpec]:
+    """Fire the active plan at ``site`` and act on the generic kinds.
+
+    ``raise`` raises :class:`FaultError`, ``die`` exits the process with
+    :data:`DIE_EXIT_CODE`, ``sleep`` blocks then returns ``None``.
+    Site-specific kinds (``truncate``) are returned for the caller to
+    interpret. No plan installed → ``None``, at no measurable cost.
+    """
+    spec = fault_point(site)
+    if spec is None:
+        return None
+    if spec.kind == "raise":
+        raise FaultError("injected fault at %s (call %d)" %
+                         (site, spec.call))
+    if spec.kind == "die":
+        if _worker_process:
+            os._exit(DIE_EXIT_CODE)
+        raise FaultError("injected fault at %s (call %d): die demoted "
+                         "to raise outside a worker process" %
+                         (site, spec.call))
+    if spec.kind == "sleep":
+        time.sleep(spec.seconds)
+        return None
+    return spec

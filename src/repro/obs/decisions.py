@@ -186,43 +186,43 @@ class DecisionLog:
             return len(self.decisions)
 
 
-#: the process-wide active decision log
-_active: Optional[DecisionLog] = None
+#: the active decision log, per thread — tuning records decisions on
+#: the thread that drives the pipeline (pool workers only compute),
+#: and a per-thread slot keeps concurrent daemon jobs from restoring
+#: over each other's logs or cross-contaminating their decisions
+_active = threading.local()
 
 
 def install(log: DecisionLog) -> DecisionLog:
-    global _active
-    _active = log
+    _active.log = log
     return log
 
 
 def uninstall() -> None:
-    global _active
-    _active = None
+    _active.log = None
 
 
 def current() -> Optional[DecisionLog]:
-    return _active
+    return getattr(_active, "log", None)
 
 
 def enabled() -> bool:
-    return _active is not None
+    return current() is not None
 
 
 def active_decision() -> Optional[TuneDecision]:
     """The in-progress :class:`TuneDecision`, if a log is installed."""
-    log = _active
+    log = current()
     return log.current_decision() if log is not None else None
 
 
 @contextmanager
 def logging_decisions(log: Optional[DecisionLog] = None
                       ) -> Iterator[DecisionLog]:
-    """Install a decision log for the duration of the block."""
-    global _active
-    previous = _active
-    _active = log if log is not None else DecisionLog()
+    """Install a decision log on this thread for the block's duration."""
+    previous = current()
+    _active.log = log if log is not None else DecisionLog()
     try:
-        yield _active
+        yield _active.log
     finally:
-        _active = previous
+        _active.log = previous

@@ -10,14 +10,25 @@ the same way:
 >>> result = client.wait(job["job"])
 >>> result["cache_hit"], result["seconds"]
 
-Server-side rejections (400/429/503...) raise :class:`ServeError`
-carrying the HTTP status and the server's error message, so callers can
-branch on ``error.status == 429`` to implement backoff.
+Resilience is built in, not outsourced to every caller:
+
+* 429 (queue full) and 503 (draining) responses are retried up to
+  ``retries`` times with exponential backoff plus jitter, honoring the
+  server's ``Retry-After`` header when present — pass ``retries=0`` for
+  the raw fail-fast behavior;
+* :meth:`wait` distinguishes a *slow* job from a *dead* daemon: a
+  transport failure mid-poll re-probes once and then fails fast with a
+  clear message instead of silently polling out the full timeout.
+
+Server-side rejections (400, and 429/503 once the retry budget is
+spent) raise :class:`ServeError` carrying the HTTP status (``0`` for
+transport failures) and the server's error message.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -27,23 +38,56 @@ from typing import Any, Dict, Optional
 class ServeError(Exception):
     """A non-2xx daemon response (or an unreachable daemon)."""
 
-    def __init__(self, message: str, status: int = 0):
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
+        #: the server's Retry-After header, parsed, when it sent one
+        self.retry_after = retry_after
+
+
+#: statuses worth retrying: the server said "not now", not "never"
+RETRYABLE = (429, 503)
 
 
 class ServeClient:
     """Talks to one ``repro serve`` daemon."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8321",
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 2,
+                 backoff: float = 0.25, max_backoff: float = 8.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.max_backoff = max(self.backoff, float(max_backoff))
 
     # -- transport -----------------------------------------------------------
 
+    def _retry_delay(self, error: ServeError, attempt: int) -> float:
+        """Backoff before retry ``attempt``: the server's ``Retry-After``
+        when it sent one, else exponential; jittered either way so N
+        rejected clients do not reconverge on the same instant."""
+        if error.retry_after is not None:
+            base = min(error.retry_after, self.max_backoff)
+        else:
+            base = min(self.backoff * (2 ** attempt), self.max_backoff)
+        return base + random.uniform(0.0, base / 4 if base else 0.05)
+
     def _call(self, path: str, payload: Optional[Dict[str, Any]] = None,
               accept: tuple = (200,)) -> Dict[str, Any]:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._call_once(path, payload, accept)
+            except ServeError as error:
+                if error.status not in RETRYABLE \
+                        or attempt >= self.retries:
+                    raise
+                time.sleep(self._retry_delay(error, attempt))
+
+    def _call_once(self, path: str,
+                   payload: Optional[Dict[str, Any]] = None,
+                   accept: tuple = (200,)) -> Dict[str, Any]:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -51,6 +95,7 @@ class ServeClient:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
+        retry_after = None
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
@@ -59,6 +104,10 @@ class ServeClient:
         except urllib.error.HTTPError as error:
             status = error.code
             body = error.read()
+            try:
+                retry_after = float(error.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
         except urllib.error.URLError as error:
             raise ServeError("cannot reach daemon at %s: %s" %
                              (self.base_url, error.reason))
@@ -73,7 +122,7 @@ class ServeClient:
         if status not in accept:
             raise ServeError(decoded.get("error",
                                          "HTTP %d from %s" % (status, url)),
-                             status=status)
+                             status=status, retry_after=retry_after)
         decoded["_status"] = status
         return decoded
 
@@ -96,10 +145,27 @@ class ServeClient:
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.1) -> Dict[str, Any]:
         """Poll until the job finishes; raises :class:`ServeError` on a
-        failed job or on deadline expiry."""
+        failed job, on deadline expiry, or — fast — when the daemon dies
+        mid-poll (transport errors re-probe once, then give up)."""
         deadline = time.monotonic() + timeout
         while True:
-            payload = self.result(job_id)
+            try:
+                payload = self.result(job_id)
+            except ServeError as error:
+                if error.status != 0:
+                    raise
+                # transport failure: slow daemon or dead daemon? one
+                # short re-probe decides; a dead daemon fails fast here
+                # instead of burning the rest of the wait timeout
+                time.sleep(min(1.0, max(poll, 0.2)))
+                if self.alive():
+                    continue
+                raise ServeError(
+                    "daemon at %s became unreachable while waiting for "
+                    "job %s (%s) — it likely died or restarted; once it "
+                    "is back, the job ledger recovers accepted jobs and "
+                    "this job id remains pollable" %
+                    (self.base_url, job_id, error))
             if payload["_status"] == 200:
                 if payload.get("state") == "failed":
                     raise ServeError("job %s failed: %s" %
@@ -114,13 +180,21 @@ class ServeClient:
     def cache_stats(self) -> Dict[str, Any]:
         return self._call("/v1/cache/stats")
 
+    def ledger_stats(self) -> Dict[str, Any]:
+        """``GET /v1/ledger`` — WAL occupancy + recovery counters."""
+        return self._call("/v1/ledger")
+
+    def fault_stats(self) -> Dict[str, Any]:
+        """``GET /v1/faults`` — the daemon's active chaos plan, if any."""
+        return self._call("/v1/faults")
+
     def health(self) -> Dict[str, Any]:
         return self._call("/healthz")
 
     def alive(self) -> bool:
         """True when the daemon answers ``/healthz`` at all."""
         try:
-            self.health()
+            self._call_once("/healthz")
             return True
         except ServeError:
             return False

@@ -221,6 +221,7 @@ def run_tune_job(payload: Dict[str, Any],
             "stores": cache_stats["stores"],
             "evictions": cache_stats["evictions"],
             "dump_errors": cache_stats["dump_errors"],
+            "quarantined": cache_stats.get("quarantined", 0),
         },
         # fully warm: every tuning decision replayed from the shared cache
         "cache_hit": cache_stats["misses"] == 0 and cache_stats["hits"] > 0,
@@ -250,6 +251,8 @@ class JobRecord:
     error: str = ""
     attempts: int = 0
     timeouts: int = 0
+    #: True when a restart re-admitted this job from the durable ledger
+    recovered: bool = False
     #: live stage registry (thread isolation only): lets the status
     #: endpoint report per-stage progress while the job runs
     live_stats: Optional[object] = None
@@ -294,6 +297,7 @@ class JobRecord:
                 "finished_at": self.finished_at,
                 "attempts": self.attempts,
                 "timeouts": self.timeouts,
+                "recovered": self.recovered,
             }
             if self.state == QUEUED:
                 payload["waiting_seconds"] = now - self.queued_at

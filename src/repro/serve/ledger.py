@@ -1,0 +1,396 @@
+"""Durable job ledger: an append-only, fsync'd JSONL write-ahead log.
+
+The daemon's promise used to end at the process boundary: a ``kill -9``
+lost every queued and in-flight job. :class:`JobLedger` moves the
+source of truth to disk. Every job transition is one JSON line appended
+(and fsync'd) to a segment file under ``<cache_dir>/ledger/`` **before**
+the in-memory state changes direction:
+
+* ``accepted``  — written before ``POST /v1/tune`` returns the job id,
+  carrying the full job payload and its content-addressed signature;
+* ``running``   — the dispatcher picked the job up;
+* ``done``      — terminal, carrying the full result dict;
+* ``failed``    — terminal, carrying the error;
+* ``recovered`` — informational: a restart re-admitted this job.
+
+On startup :meth:`JobLedger.recover` replays every segment oldest-first
+into one state per job id: finished jobs answer ``GET /v1/jobs/<id>``
+straight from the ledger (plus the shared
+:class:`~repro.engine.cache.TuningCache` for the tuning decisions
+themselves), and jobs whose last event was ``accepted``/``running``/
+``recovered`` are re-admitted. Because re-runs replay the cache, a
+``kill -9`` mid-job costs at most one re-run of the interrupted work.
+
+Crash tolerance is structural, not best-effort:
+
+* one record = one line, so a torn tail (the half-written line a
+  ``kill -9`` leaves behind) is detected by its failed JSON parse,
+  counted, and skipped — it can only ever be the in-flight append;
+* every record carries a schema version; records from a newer schema
+  are counted and skipped, never misread;
+* segments rotate at ``max_segment_bytes`` and recovery **compacts**:
+  the replayed state is rewritten as one fresh snapshot segment (bounded
+  to the most recent ``keep_finished`` finished jobs plus every
+  incomplete job) and the old segments are deleted, so the ledger's disk
+  footprint is bounded by job count, not daemon uptime;
+* an append that fails (full disk, injected fault) degrades durability,
+  not availability: counted, warned once, and the job still runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import faults
+from ..obs.log import get_logger
+
+logger = get_logger("serve.ledger")
+
+#: record schema version; bump when the record shape changes
+LEDGER_SCHEMA = 1
+
+#: ledger events, in lifecycle order (``recovered`` is informational)
+EVENTS = ("accepted", "running", "done", "failed", "recovered")
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{6})\.jsonl$")
+
+#: events after which a job needs no re-run
+_TERMINAL = ("done", "failed")
+
+
+@dataclass
+class LedgerState:
+    """The collapsed per-job state after replaying every record."""
+
+    job: str
+    event: str = "accepted"
+    signature: Optional[str] = None
+    payload: Optional[Dict[str, Any]] = None
+    result: Optional[Dict[str, Any]] = None
+    error: str = ""
+    accepted_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.event in _TERMINAL
+
+
+@dataclass
+class _Segment:
+    index: int
+    path: str
+    size: int = 0
+    handle: Optional[object] = field(default=None, repr=False)
+
+
+class JobLedger:
+    """Append-only JSONL WAL under one directory (see module docs)."""
+
+    def __init__(self, path: str,
+                 max_segment_bytes: int = 4 * 1024 * 1024,
+                 fsync: bool = True,
+                 keep_finished: int = 512):
+        self.path = path
+        self.max_segment_bytes = max(4096, int(max_segment_bytes))
+        self.fsync = bool(fsync)
+        self.keep_finished = max(0, int(keep_finished))
+        self._lock = threading.Lock()
+        self._segment: Optional[_Segment] = None
+        self.appends = 0
+        self.append_errors = 0
+        self.torn_records = 0
+        self.skipped_records = 0
+        self.rotations = 0
+        self.compacted_away = 0
+        self._append_error_logged = False
+        os.makedirs(path, exist_ok=True)
+
+    # -- segments ------------------------------------------------------------
+
+    def _segment_name(self, index: int) -> str:
+        return os.path.join(self.path, "wal-%06d.jsonl" % index)
+
+    def segments(self) -> List[str]:
+        """Segment paths, oldest first."""
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        indexed = []
+        for name in names:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                indexed.append((int(match.group(1)),
+                                os.path.join(self.path, name)))
+        return [path for _, path in sorted(indexed)]
+
+    def _next_index(self) -> int:
+        last = 0
+        for path in self.segments():
+            match = _SEGMENT_RE.match(os.path.basename(path))
+            if match:
+                last = max(last, int(match.group(1)))
+        return last + 1
+
+    def _open_segment(self, index: int) -> _Segment:
+        path = self._segment_name(index)
+        handle = open(path, "a", encoding="utf-8")
+        return _Segment(index=index, path=path,
+                        size=os.path.getsize(path), handle=handle)
+
+    def _ensure_segment(self, incoming: int) -> _Segment:
+        # callers hold self._lock
+        if self._segment is None:
+            existing = self.segments()
+            if existing:
+                match = _SEGMENT_RE.match(os.path.basename(existing[-1]))
+                self._segment = self._open_segment(int(match.group(1)))
+            else:
+                self._segment = self._open_segment(1)
+        if self._segment.size + incoming > self.max_segment_bytes \
+                and self._segment.size > 0:
+            self._segment.handle.close()
+            self._segment = self._open_segment(self._segment.index + 1)
+            self.rotations += 1
+            logger.debug("rotated ledger to %s", self._segment.path)
+        return self._segment
+
+    def close(self) -> None:
+        """Release the active segment handle; appends reopen lazily."""
+        with self._lock:
+            if self._segment is not None \
+                    and self._segment.handle is not None:
+                try:
+                    self._segment.handle.close()
+                except OSError:
+                    pass
+            self._segment = None
+
+    # -- append --------------------------------------------------------------
+
+    def append(self, event: str, job_id: str,
+               signature: Optional[str] = None,
+               payload: Optional[Dict[str, Any]] = None,
+               result: Optional[Dict[str, Any]] = None,
+               error: Optional[str] = None) -> bool:
+        """Durably record one job transition; returns False on failure.
+
+        A failed append (full disk, unwritable directory, injected
+        fault) must not take serving down: it is counted, warned about
+        once, and the caller proceeds with durability degraded.
+        """
+        if event not in EVENTS:
+            raise ValueError("unknown ledger event %r" % event)
+        record: Dict[str, Any] = {"v": LEDGER_SCHEMA, "ts": time.time(),
+                                  "event": event, "job": job_id}
+        if signature is not None:
+            record["signature"] = signature
+        if payload is not None:
+            record["payload"] = payload
+        if result is not None:
+            record["result"] = result
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            try:
+                faults.maybe_fault("serve.ledger.append")
+                segment = self._ensure_segment(len(line))
+                segment.handle.write(line)
+                segment.handle.flush()
+                if self.fsync:
+                    os.fsync(segment.handle.fileno())
+                segment.size += len(line)
+                self.appends += 1
+                return True
+            except OSError as exc:
+                self.append_errors += 1
+                first = not self._append_error_logged
+                self._append_error_logged = True
+                # a broken handle must not poison every later append
+                self._segment = None
+                if first:
+                    logger.warning(
+                        "cannot append to job ledger under %s (%s); jobs "
+                        "will NOT survive a restart until the ledger "
+                        "directory is writable again", self.path, exc)
+                else:
+                    logger.debug("ledger append failed again: %s", exc)
+                return False
+
+    # -- replay / recovery ---------------------------------------------------
+
+    def replay(self) -> "OrderedDict[str, LedgerState]":
+        """Collapse every segment into one :class:`LedgerState` per job.
+
+        Unparseable lines are torn writes from a crashed append: counted
+        and skipped (only ever the in-flight record, by construction).
+        Records with an unknown schema version are counted separately.
+        """
+        states: "OrderedDict[str, LedgerState]" = OrderedDict()
+        segments = self.segments()
+        for segment_index, path in enumerate(segments):
+            try:
+                with open(path, encoding="utf-8", errors="replace") as fh:
+                    lines = fh.readlines()
+            except OSError as exc:
+                logger.warning("cannot read ledger segment %s: %s",
+                               path, exc)
+                continue
+            for line_index, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.torn_records += 1
+                    at_tail = (segment_index == len(segments) - 1
+                               and line_index == len(lines) - 1)
+                    logger.warning(
+                        "skipping torn ledger record (%s:%d%s)", path,
+                        line_index + 1,
+                        ", crash tail" if at_tail else "")
+                    continue
+                if not isinstance(record, dict) \
+                        or record.get("v") != LEDGER_SCHEMA \
+                        or record.get("event") not in EVENTS \
+                        or not record.get("job"):
+                    self.skipped_records += 1
+                    continue
+                self._absorb(states, record)
+        return states
+
+    @staticmethod
+    def _absorb(states, record: Dict[str, Any]) -> None:
+        job_id = str(record["job"])
+        state = states.get(job_id)
+        if state is None:
+            state = states[job_id] = LedgerState(job=job_id)
+        event = record["event"]
+        if event != "recovered":      # informational: keep the last state
+            state.event = event
+        if record.get("signature") is not None:
+            state.signature = record["signature"]
+        if record.get("payload") is not None:
+            state.payload = record["payload"]
+        if record.get("result") is not None:
+            state.result = record["result"]
+        if record.get("error") is not None:
+            state.error = str(record["error"])
+        if event == "accepted" and state.accepted_ts is None:
+            state.accepted_ts = record.get("ts")
+        if event in _TERMINAL:
+            state.finished_ts = record.get("ts")
+
+    def recover(self) -> "OrderedDict[str, LedgerState]":
+        """Replay, then compact into one fresh snapshot segment.
+
+        Finished jobs beyond the most recent ``keep_finished`` are
+        dropped (and counted), bounding the ledger by job count rather
+        than daemon uptime. The old segments are only deleted after the
+        snapshot is durably on disk.
+        """
+        states = self.replay()
+        old_segments = self.segments()
+        finished = [s for s in states.values() if s.finished]
+        dropped = 0
+        if self.keep_finished and len(finished) > self.keep_finished:
+            for state in finished[:-self.keep_finished]:
+                del states[state.job]
+                dropped += 1
+        elif not self.keep_finished:
+            for state in finished:
+                del states[state.job]
+                dropped += 1
+        self.compacted_away += dropped
+        self.close()
+        index = self._next_index()
+        snapshot = self._segment_name(index)
+        tmp = snapshot + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for state in states.values():
+                    record: Dict[str, Any] = {
+                        "v": LEDGER_SCHEMA, "event": state.event,
+                        "job": state.job,
+                        "ts": state.finished_ts or state.accepted_ts
+                        or time.time()}
+                    if state.signature is not None:
+                        record["signature"] = state.signature
+                    if state.payload is not None:
+                        record["payload"] = state.payload
+                    if state.result is not None:
+                        record["result"] = state.result
+                    if state.error:
+                        record["error"] = state.error
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, snapshot)
+            self._fsync_dir()
+            for path in old_segments:
+                if path != snapshot:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+        except OSError as exc:
+            # compaction is an optimization; replayed state is already
+            # in memory and the old segments are still intact
+            logger.warning("ledger compaction failed (%s); keeping the "
+                           "existing segments", exc)
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        return states
+
+    def _fsync_dir(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- introspection -------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        total = 0
+        for path in self.segments():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "schema": LEDGER_SCHEMA,
+            "segments": len(self.segments()),
+            "bytes": self.disk_bytes(),
+            "appends": self.appends,
+            "append_errors": self.append_errors,
+            "torn_records": self.torn_records,
+            "skipped_records": self.skipped_records,
+            "rotations": self.rotations,
+            "compacted_away": self.compacted_away,
+            "fsync": self.fsync,
+            "max_segment_bytes": self.max_segment_bytes,
+            "keep_finished": self.keep_finished,
+        }

@@ -24,6 +24,7 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from .. import faults
 from .jobs import JobRecord
 
 
@@ -57,6 +58,7 @@ class JobQueue:
 
     def submit(self, record: JobRecord) -> None:
         """Queue a job; raises :class:`QueueFull` / :class:`QueueClosed`."""
+        faults.maybe_fault("serve.queue.submit")
         with self._lock:
             if self._closed:
                 raise QueueClosed("daemon is draining")
@@ -64,6 +66,30 @@ class JobQueue:
                 raise QueueFull(
                     "queue depth %d reached (%d queued, %d running)" %
                     (self.depth, len(self._pending), self._running))
+            self._jobs[record.id] = record
+            self._pending.append(record)
+            self._not_empty.notify()
+
+    def register(self, record: JobRecord) -> None:
+        """Add a finished job to the registry without queueing it.
+
+        Restart recovery uses this for ledger-replayed terminal jobs so
+        ``GET /v1/jobs/<id>`` keeps answering after a daemon restart.
+        """
+        with self._lock:
+            self._jobs[record.id] = record
+
+    def admit_recovered(self, record: JobRecord) -> None:
+        """Re-admit a ledger-recovered job, bypassing the depth bound.
+
+        The depth bound is admission control for *new* work; jobs the
+        daemon already promised (they were durably ``accepted``) must
+        never be dropped because the recovered backlog happens to exceed
+        the configured depth.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("daemon is draining")
             self._jobs[record.id] = record
             self._pending.append(record)
             self._not_empty.notify()

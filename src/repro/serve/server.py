@@ -19,19 +19,32 @@ API surface (all JSON):
 * ``GET /v1/jobs/<id>/result`` — the full result: composite seconds,
   cache accounting, per-stage seconds, and the TDO decision log
   (202 while the job is still queued/running);
-* ``GET /v1/cache/stats``      — shared-cache hit/miss/evict counters,
-  hit rate, and disk occupancy against the configured budget;
+* ``GET /v1/cache/stats``      — shared-cache hit/miss/evict/quarantine
+  counters, hit rate, and disk occupancy against the configured budget;
+* ``GET /v1/ledger``           — durable job-ledger occupancy and the
+  restart-recovery counters;
+* ``GET /v1/faults``           — the active fault-injection plan (chaos
+  campaigns only; ``{"installed": false}`` in production);
 * ``GET /healthz``             — liveness, queue counts, uptime.
 
 Shutdown is graceful: SIGTERM/SIGINT stop admissions (503), let the
 dispatchers finish the backlog (bounded by ``drain_grace``), shut the
 scheduler worker pools down cleanly, then stop the HTTP listener.
+
+Crash safety: every job transition is written (fsync'd) to an
+append-only :class:`~repro.serve.ledger.JobLedger` under the cache
+directory *before* the daemon acts on it, and replayed on startup —
+finished jobs answer from the ledger, queued/in-flight jobs are
+re-admitted idempotently by signature. A ``kill -9`` costs at most one
+re-run of the interrupted job; see ``docs/SERVE.md``.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
+import re
 import signal
 import tempfile
 import threading
@@ -40,13 +53,15 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
+from .. import faults
 from ..engine import EngineStats, TuningCache, TuningEngine
 from ..engine.cache import default_cache_path, parse_cache_budget
 from ..engine.scheduler import Job, SweepScheduler
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
-from .jobs import FAILED, JobRecord, RequestError, TuneRequest, \
+from .jobs import DONE, FAILED, JobRecord, RequestError, TuneRequest, \
     run_tune_job
+from .ledger import JobLedger
 from .queue import JobQueue, QueueClosed, QueueFull
 
 logger = get_logger("serve")
@@ -63,7 +78,10 @@ _CACHE_COUNTERS = (("hits", "engine.cache.hit"),
                    ("misses", "engine.cache.miss"),
                    ("stores", "engine.cache.store"),
                    ("evictions", "engine.cache.evict"),
-                   ("dump_errors", "engine.cache.dump_errors"))
+                   ("dump_errors", "engine.cache.dump_errors"),
+                   ("quarantined", "engine.cache.quarantined"))
+
+_JOB_ID_RE = re.compile(r"^j(\d+)$")
 
 
 @dataclass
@@ -83,6 +101,9 @@ class ServerConfig:
     cache_max: Optional[str] = None
     drain_grace: float = 30.0
     mp_context: Optional[str] = None
+    #: durable job ledger (WAL + restart recovery); ``False`` restores
+    #: the pre-ledger in-memory-only behavior
+    ledger: bool = True
 
 
 class TuneServer:
@@ -98,8 +119,9 @@ class TuneServer:
             cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
             logger.warning(
                 "no cache directory configured ($REPRO_TUNING_CACHE or "
-                "--cache); using throwaway %s — warm state will not "
-                "survive a restart", cache_dir)
+                "--cache); using throwaway %s — configure a persistent "
+                "cache directory so the next daemon can find the warm "
+                "state and the job ledger", cache_dir)
         self.cache_dir = cache_dir
         max_bytes, max_entries = parse_cache_budget(self.config.cache_max)
         #: the daemon's handle on the shared store (budget + occupancy);
@@ -118,6 +140,74 @@ class TuneServer:
         self._started = False
         self._serving = False
         self._stopped = threading.Event()
+        self.recovered_jobs = 0
+        self.replayed_finished = 0
+        self.skipped_ledger_jobs = 0
+        self.ledger: Optional[JobLedger] = None
+        if self.config.ledger:
+            self.ledger = JobLedger(os.path.join(cache_dir, "ledger"))
+            self._recover()
+
+    # -- restart recovery ----------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the ledger: finished jobs become answerable records,
+        incomplete jobs are re-admitted, and the job-id counter resumes
+        past everything the previous daemon handed out."""
+        states = self.ledger.recover()
+        max_seen = 0
+        for state in states.values():
+            match = _JOB_ID_RE.match(state.job)
+            if match:
+                max_seen = max(max_seen, int(match.group(1)))
+            payload = {key: value
+                       for key, value in (state.payload or {}).items()
+                       if key not in ("cache_dir", "cache_max_bytes",
+                                      "cache_max_entries")}
+            try:
+                request = TuneRequest.from_payload(payload)
+            except RequestError as error:
+                self.skipped_ledger_jobs += 1
+                logger.warning("skipping ledger job %s (unusable "
+                               "payload: %s)", state.job, error)
+                continue
+            # the previous daemon's cache settings do not bind this one
+            record = JobRecord(
+                id=state.job, request=request,
+                signature=state.signature or request.signature(),
+                payload=dict(request.as_payload(),
+                             cache_dir=self.cache_dir,
+                             cache_max_bytes=self.cache.max_bytes,
+                             cache_max_entries=self.cache.max_entries),
+                recovered=True)
+            if state.accepted_ts is not None:
+                record.queued_at = state.accepted_ts
+            if state.finished:
+                record.state = DONE if state.event == "done" else FAILED
+                record.result = state.result
+                record.error = state.error
+                record.finished_at = state.finished_ts
+                self.queue.register(record)
+                self.replayed_finished += 1
+            else:
+                self.queue.admit_recovered(record)
+                self.ledger.append("recovered", record.id,
+                                   signature=record.signature)
+                self.recovered_jobs += 1
+                logger.info("recovered job %s from the ledger (%s)",
+                            record.id, request.describe())
+        self._job_ids = itertools.count(max_seen + 1)
+        if self.recovered_jobs:
+            self.registry.counter("serve.recovered_jobs").inc(
+                self.recovered_jobs)
+        if self.replayed_finished:
+            self.registry.counter("serve.replayed_finished").inc(
+                self.replayed_finished)
+        if self.recovered_jobs or self.replayed_finished:
+            self._set_queue_gauges()
+            logger.info("ledger replay: %d job(s) re-admitted, %d "
+                        "finished job(s) answerable from the ledger",
+                        self.recovered_jobs, self.replayed_finished)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -195,6 +285,8 @@ class TuneServer:
                            grace)
         for scheduler in self._schedulers:
             scheduler.shutdown()
+        if self.ledger is not None:
+            self.ledger.close()
         self._stopped.set()
         # shutdown() blocks until serve_forever's loop exits, so it must
         # only run when that loop is (or is about to be) running — the
@@ -237,10 +329,24 @@ class TuneServer:
         coalesced = any(other.signature == signature
                         and not other.finished
                         for other in self.queue.jobs())
+        # WAL-first: the job is durably "accepted" before the queue (and
+        # before the client hears the id), so a crash between the two
+        # re-admits it on restart instead of losing it
+        if self.ledger is not None:
+            self.ledger.append("accepted", record.id,
+                               signature=signature, payload=job_payload)
         try:
             self.queue.submit(record)
         except QueueFull:
             self.registry.counter("serve.rejected_full").inc()
+            if self.ledger is not None:  # rejected ≠ accepted: terminal
+                self.ledger.append("failed", record.id,
+                                   error="rejected: queue full")
+            raise
+        except QueueClosed:
+            if self.ledger is not None:
+                self.ledger.append("failed", record.id,
+                                   error="rejected: daemon draining")
             raise
         self.registry.counter("serve.jobs_submitted").inc()
         self._set_queue_gauges()
@@ -266,16 +372,24 @@ class TuneServer:
                     record.state = FAILED
                     record.error = "internal dispatcher error"
                     record.finished_at = time.time()
+                # keep the ledger truthful: what the client saw as failed
+                # must not silently re-run after a restart
+                if self.ledger is not None and record.state == FAILED:
+                    self.ledger.append("failed", record.id,
+                                       error=record.error)
             finally:
                 self.queue.task_done()
                 self._set_queue_gauges()
 
     def _execute(self, scheduler: SweepScheduler,
                  record: JobRecord) -> None:
+        faults.maybe_fault("serve.dispatch")
         # single-flight: identical tuning problems serialize, so the
         # first pays the tuning and the rest replay the shared cache
         with self.queue.signature_lock(record.signature):
             record.mark_running()
+            if self.ledger is not None:
+                self.ledger.append("running", record.id)
             if self.config.isolation == "thread":
                 engine = TuningEngine(
                     cache=TuningCache(self.cache_dir,
@@ -289,11 +403,22 @@ class TuneServer:
                 runner = run_tune_job
             results = scheduler.run(runner,
                                     [Job(record.id, record.payload)])
-        record.finish(results[record.id])
+        job_result = results[record.id]
+        # WAL ordering: durably terminal before clients can observe it
+        if self.ledger is not None:
+            if job_result.ok:
+                self.ledger.append("done", record.id,
+                                   result=job_result.value)
+            else:
+                self.ledger.append("failed", record.id,
+                                   error=job_result.error)
+        record.finish(job_result)
         self._account(record)
 
     def _account(self, record: JobRecord) -> None:
         counter = self.registry.counter
+        if record.timeouts:
+            counter("serve.job_timeouts").inc(record.timeouts)
         if record.state == FAILED:
             counter("serve.jobs_failed").inc()
             logger.warning("job %s failed: %s", record.id, record.error)
@@ -336,6 +461,7 @@ class TuneServer:
             "isolation": self.config.isolation,
             "queue_depth": self.config.queue_depth,
             "cache_path": self.cache_dir,
+            "ledger": self.ledger is not None,
         }
 
     def cache_stats(self) -> Dict[str, Any]:
@@ -349,6 +475,7 @@ class TuneServer:
             "stores": counters.get("engine.cache.store", 0),
             "evictions": counters.get("engine.cache.evict", 0),
             "dump_errors": counters.get("engine.cache.dump_errors", 0),
+            "quarantined": counters.get("engine.cache.quarantined", 0),
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
             "disk_entries": occupancy["disk_entries"],
             "disk_bytes": occupancy["disk_bytes"],
@@ -361,8 +488,30 @@ class TuneServer:
                 "failed": counters.get("serve.jobs_failed", 0),
                 "warm": counters.get("serve.warm_jobs", 0),
                 "rejected_full": counters.get("serve.rejected_full", 0),
+                "timeouts": counters.get("serve.job_timeouts", 0),
+                "recovered": counters.get("serve.recovered_jobs", 0),
             },
         }
+
+    def ledger_stats(self) -> Dict[str, Any]:
+        """The ``GET /v1/ledger`` payload: WAL + recovery accounting."""
+        payload: Dict[str, Any] = {
+            "enabled": self.ledger is not None,
+            "recovered_jobs": self.recovered_jobs,
+            "replayed_finished": self.replayed_finished,
+            "skipped_jobs": self.skipped_ledger_jobs,
+        }
+        if self.ledger is not None:
+            payload["ledger"] = self.ledger.stats()
+        return payload
+
+    @staticmethod
+    def fault_stats() -> Dict[str, Any]:
+        """The ``GET /v1/faults`` payload: the active chaos plan."""
+        plan = faults.active_plan()
+        if plan is None:
+            return {"installed": False}
+        return dict({"installed": True}, **plan.stats())
 
 
 # -- HTTP plumbing -----------------------------------------------------------
@@ -393,14 +542,29 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/healthz":
-            return self._json(200, self.app.health())
-        if path == "/v1/cache/stats":
-            return self._json(200, self.app.cache_stats())
-        if path.startswith("/v1/jobs/"):
-            return self._job_route(path[len("/v1/jobs/"):])
-        return self._json(404, {"error": "no route %s" % path})
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                return self._json(200, self.app.health())
+            if path == "/v1/cache/stats":
+                return self._json(200, self.app.cache_stats())
+            if path == "/v1/ledger":
+                return self._json(200, self.app.ledger_stats())
+            if path == "/v1/faults":
+                return self._json(200, self.app.fault_stats())
+            if path.startswith("/v1/jobs/"):
+                return self._job_route(path[len("/v1/jobs/"):])
+            return self._json(404, {"error": "no route %s" % path})
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            self._internal_error("GET", error)
+
+    def _internal_error(self, verb: str, error: Exception) -> None:
+        logger.exception("unhandled error serving %s %s", verb,
+                         self.path)
+        try:
+            self._json(500, {"error": "internal error: %s" % error})
+        except OSError:
+            pass  # response already underway or the client is gone
 
     def _job_route(self, rest: str) -> None:
         parts = rest.split("/")
@@ -444,3 +608,5 @@ class _Handler(BaseHTTPRequestHandler):
                               headers={"Retry-After": "1"})
         except QueueClosed as error:
             return self._json(503, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            self._internal_error("POST", error)

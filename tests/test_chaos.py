@@ -1,0 +1,198 @@
+"""Seeded chaos campaigns over the serving path and the tuning cache.
+
+Each campaign installs a :class:`FaultPlan.seeded` plan — deterministic
+per seed, so a failing seed number IS the reproduction recipe — and then
+drives normal traffic while faults fire at the named injection points.
+The invariants, from the crash-safety contract:
+
+* **no hang** — every poll loop is deadline-bounded and every daemon
+  ``drain()`` returns ``True`` within its grace period;
+* **no lost accepted job** — every job id a client received reaches a
+  terminal state (``done`` or ``failed`` with a recorded error);
+* **no corrupt result served** — every ``done`` result matches the
+  fault-free baseline for that request signature, and every cache entry
+  that survives a post-campaign sweep parses self-consistently;
+* **volume** — the campaigns inject at least 50 faults in total (each
+  asserts its own floor, summing comfortably past the bar).
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.autotune.tdo import TuneOutcome
+from repro.engine.cache import ENTRY_SCHEMA, CacheEntry, TuningCache
+from repro.faults import FaultPlan
+from repro.serve import (ServeClient, ServeError, ServerConfig,
+                         TuneServer)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.uninstall_plan()
+    yield
+    faults.uninstall_plan()
+
+
+#: three distinct problems so single-flight, warm hits, and cold runs
+#: all occur within one seed's traffic
+REQUESTS = (
+    {"benchmark": "lud", "arch": "a100", "max_factor": 4},
+    {"benchmark": "lud", "arch": "a100", "max_factor": 2},
+    {"benchmark": "lud", "arch": "a100", "max_factor": 8},
+)
+
+SERVE_SEEDS = range(10)
+CACHE_SEEDS = range(6)
+
+
+def _start_server(cache_dir):
+    server = TuneServer(ServerConfig(port=0, workers=2,
+                                     isolation="thread", queue_depth=16,
+                                     drain_grace=30.0,
+                                     cache_dir=cache_dir))
+    server.start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    # generous retries: injected 429/503s must not fail the campaign
+    client = ServeClient(server.url, timeout=10.0, retries=3,
+                         backoff=0.05)
+    deadline = time.monotonic() + 10
+    while not client.alive():
+        assert time.monotonic() < deadline, "daemon never came up"
+        time.sleep(0.05)
+    return server, client
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Fault-free ground truth: signature -> seconds, per request."""
+    cache_dir = str(tmp_path_factory.mktemp("baseline") / "cache")
+    server, client = _start_server(cache_dir)
+    truth = {}
+    try:
+        for request in REQUESTS:
+            submitted = client.submit(request)
+            result = client.wait(submitted["job"], timeout=120.0)
+            truth[submitted["signature"]] = result["seconds"]
+    finally:
+        assert server.drain(grace=30.0)
+    return truth
+
+
+def _sweep_cache_dir(cache_dir):
+    """Post-campaign consistency sweep: visit every surviving entry;
+    anything still readable afterwards must parse with the current
+    schema (corrupt entries get quarantined by the visit, not served)."""
+    sweeper = TuningCache(cache_dir)
+    for name in sorted(os.listdir(cache_dir)):
+        if name.endswith(".json"):
+            sweeper.lookup(name[: -len(".json")])
+    for name in sorted(os.listdir(cache_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(cache_dir, name)) as handle:
+            data = json.load(handle)  # survivors parse...
+        assert data["schema"] == ENTRY_SCHEMA  # ...at current schema
+
+
+def _run_serve_seed(seed, cache_dir, truth):
+    plan = faults.install_plan(
+        FaultPlan.seeded(seed, faults=10, forbid=("die",)))
+    server, client = _start_server(cache_dir)
+    accepted = []
+    try:
+        for request in REQUESTS * 2:
+            try:
+                accepted.append(client.submit(request))
+            except ServeError as error:
+                # an injected admission fault surfaces as a clean HTTP
+                # error, never a wedged client
+                assert error.status in (429, 500, 503)
+        for submitted in accepted:
+            deadline = time.monotonic() + 60
+            while True:  # no lost job: terminal within the deadline
+                status = client.job(submitted["job"])
+                if status["state"] in ("done", "failed"):
+                    break
+                assert time.monotonic() < deadline, \
+                    "seed %d: job %s hung" % (seed, submitted["job"])
+                time.sleep(0.05)
+            if status["state"] == "done":
+                result = client.result(submitted["job"])
+                assert result["_status"] == 200
+                assert result["seconds"] == pytest.approx(
+                    truth[submitted["signature"]]), \
+                    "seed %d: corrupt result served" % seed
+            else:
+                assert status["error"], \
+                    "seed %d: failed without a recorded error" % seed
+    finally:
+        drained = server.drain(grace=30.0)
+        faults.uninstall_plan()
+    assert drained, "seed %d: daemon failed to drain" % seed
+    assert len(accepted) >= 1, "seed %d: nothing was ever accepted" % seed
+    _sweep_cache_dir(cache_dir)
+    return len(plan.fired)
+
+
+class TestServeChaos:
+    def test_seeded_campaign_holds_invariants(self, tmp_path, baseline):
+        fired = 0
+        for seed in SERVE_SEEDS:
+            fired += _run_serve_seed(
+                seed, str(tmp_path / ("seed-%d" % seed)), baseline)
+        assert fired >= 35, "campaign too tame: %d faults fired" % fired
+
+
+def _chaos_entry():
+    return CacheEntry(
+        TuneOutcome(selected_desc="chaos-winner", selected_time=2.5,
+                    candidates=[], filters=None, selected_index=0,
+                    selected_config={"block_total": 256}),
+        {"block_total": 256})
+
+
+class TestCacheChaos:
+    def test_seeded_campaign_never_serves_corrupt_entries(self, tmp_path):
+        entry = _chaos_entry()
+        fired = 0
+        for seed in CACHE_SEEDS:
+            cache_dir = str(tmp_path / ("seed-%d" % seed))
+            plan = faults.install_plan(FaultPlan.seeded(
+                seed, sites=("engine.cache.dump", "engine.cache.load"),
+                faults=12, max_call=30, forbid=("sleep",)))
+            try:
+                cache = TuningCache(cache_dir)
+                for round_index in range(30):
+                    key = "k%02d" % (round_index % 8)
+                    cache.store(key, entry)  # dump faults absorbed
+                    hit, got = cache.lookup(key)
+                    if hit:  # a hit is either pristine or nothing
+                        assert got.selected_config == \
+                            entry.selected_config
+                        assert got.outcome.selected_time == \
+                            entry.outcome.selected_time
+            finally:
+                faults.uninstall_plan()
+            fired += len(plan.fired)
+            _sweep_cache_dir(cache_dir)
+            stats = TuningCache(cache_dir).stats()
+            assert json.dumps(stats)  # quarantine counters stay JSON-able
+        assert fired >= 30, "campaign too tame: %d faults fired" % fired
+
+    def test_combined_campaign_volume(self):
+        """The two campaigns above are sized so their plans alone carry
+        the >=50-fault acceptance floor even before counting retries."""
+        serve_specs = sum(
+            len(FaultPlan.seeded(seed, faults=10, forbid=("die",)).specs)
+            for seed in SERVE_SEEDS)
+        cache_specs = sum(
+            len(FaultPlan.seeded(
+                seed, sites=("engine.cache.dump", "engine.cache.load"),
+                faults=12, max_call=30, forbid=("sleep",)).specs)
+            for seed in CACHE_SEEDS)
+        assert serve_specs + cache_specs >= 50

@@ -1,0 +1,201 @@
+"""Tests for the deterministic fault-injection framework.
+
+The framework's contract is determinism: the same seed must always
+produce the same plan, and a plan must fire exactly the configured
+faults at exactly the configured call counts — otherwise a chaos
+campaign's failing seed is a flake, not a bug report.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import (DIE_EXIT_CODE, FAULT_PLAN_ENV, SITE_KINDS,
+                          SITES, FaultError, FaultPlan, FaultSpec)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.uninstall_plan()
+    yield
+    faults.uninstall_plan()
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        one = FaultPlan.seeded(1234, faults=10)
+        two = FaultPlan.seeded(1234, faults=10)
+        assert one.to_json() == two.to_json()
+        assert len(one.specs) == 10
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.seeded(1, faults=10).to_json() != \
+            FaultPlan.seeded(2, faults=10).to_json()
+
+    def test_seeded_respects_forbid(self):
+        plan = FaultPlan.seeded(7, faults=20, forbid=("die",))
+        assert all(spec.kind != "die" for spec in plan.specs)
+
+    def test_seeded_all_forbidden_raises(self):
+        with pytest.raises(ValueError, match="forbidden"):
+            FaultPlan.seeded(7, sites=("serve.queue.submit",),
+                             forbid=("raise",))
+
+    def test_illegal_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan([FaultSpec("no.such.site", 1, "raise")])
+
+    def test_illegal_kind_rejected(self):
+        # die is only legal in scheduler workers, never the queue
+        with pytest.raises(ValueError, match="not legal"):
+            FaultPlan([FaultSpec("serve.queue.submit", 1, "die")])
+
+    def test_every_site_has_kinds(self):
+        assert set(SITE_KINDS) == set(SITES)
+        assert all(kinds for kinds in SITE_KINDS.values())
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan.seeded(42, faults=6)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.seed == 42
+        assert again.to_json() == plan.to_json()
+
+    def test_fires_exactly_on_configured_call(self):
+        plan = FaultPlan([FaultSpec("engine.cache.load", 3, "raise")])
+        assert plan.fire("engine.cache.load") is None
+        assert plan.fire("engine.cache.load") is None
+        spec = plan.fire("engine.cache.load")
+        assert spec is not None and spec.kind == "raise"
+        assert plan.fire("engine.cache.load") is None
+        assert len(plan.fired) == 1
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([FaultSpec("engine.cache.load", 2, "raise"),
+                          FaultSpec("engine.cache.dump", 1, "raise")])
+        assert plan.fire("engine.cache.dump") is not None
+        assert plan.fire("engine.cache.load") is None
+        assert plan.fire("engine.cache.load") is not None
+
+    def test_thread_safe_counting(self):
+        plan = FaultPlan([FaultSpec("scheduler.worker", 500, "raise")])
+        hits = []
+
+        def hammer():
+            for _ in range(100):
+                if plan.fire("scheduler.worker") is not None:
+                    hits.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.stats()["site_hits"]["scheduler.worker"] == 500
+        assert len(hits) == 1  # exactly one thread saw call #500
+
+
+class TestInstallation:
+    def test_no_plan_is_free(self):
+        assert faults.active_plan() is None
+        assert faults.maybe_fault("engine.cache.load") is None
+
+    def test_install_and_fire(self):
+        plan = FaultPlan([FaultSpec("engine.cache.load", 1, "raise")])
+        faults.install_plan(plan)
+        with pytest.raises(FaultError):
+            faults.maybe_fault("engine.cache.load")
+        assert plan.fired
+
+    def test_fault_error_is_oserror(self):
+        # sites' existing OSError handling must absorb injected faults
+        assert issubclass(FaultError, OSError)
+        assert FaultError("x").injected
+
+    def test_env_roundtrip(self):
+        plan = FaultPlan.seeded(9, faults=4)
+        faults.install_plan(plan, env=True)
+        assert FAULT_PLAN_ENV in os.environ
+        # simulate the worker process: no installed plan, env only
+        faults.plan._active = None
+        worker_plan = faults.active_plan()
+        assert worker_plan is not None
+        assert worker_plan.to_json() == plan.to_json()
+
+    def test_env_plan_memoized(self):
+        faults.install_plan(FaultPlan.seeded(5, faults=2), env=True)
+        faults.plan._active = None
+        assert faults.active_plan() is faults.active_plan()
+
+    def test_malformed_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+        assert faults.active_plan() is None
+
+    def test_uninstall_clears_env(self):
+        faults.install_plan(FaultPlan.seeded(3, faults=2), env=True)
+        faults.uninstall_plan()
+        assert FAULT_PLAN_ENV not in os.environ
+        assert faults.active_plan() is None
+
+
+class TestKinds:
+    def test_sleep_blocks_then_continues(self):
+        plan = FaultPlan([FaultSpec("serve.dispatch", 1, "sleep",
+                                    seconds=0.05)])
+        faults.install_plan(plan)
+        import time
+        start = time.monotonic()
+        assert faults.maybe_fault("serve.dispatch") is None
+        assert time.monotonic() - start >= 0.05
+
+    def test_truncate_returned_to_caller(self):
+        plan = FaultPlan([FaultSpec("engine.cache.dump", 1, "truncate")])
+        faults.install_plan(plan)
+        spec = faults.maybe_fault("engine.cache.dump")
+        assert spec is not None and spec.kind == "truncate"
+
+    def test_die_demoted_outside_worker_process(self):
+        # in this (test-runner) process, die must raise, never _exit
+        plan = FaultPlan([FaultSpec("scheduler.worker", 1, "die")])
+        faults.install_plan(plan)
+        with pytest.raises(FaultError, match="demoted"):
+            faults.maybe_fault("scheduler.worker")
+
+    def test_die_kills_real_worker_process(self):
+        import multiprocessing
+
+        def victim():
+            faults.install_plan(
+                FaultPlan([FaultSpec("scheduler.worker", 1, "die")]))
+            faults.mark_worker_process()
+            faults.maybe_fault("scheduler.worker")
+
+        context = multiprocessing.get_context("fork")
+        process = context.Process(target=victim)
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == DIE_EXIT_CODE
+
+    def test_fired_faults_counted_in_metrics(self):
+        from repro.obs import metrics as obs_metrics
+        plan = FaultPlan([FaultSpec("serve.dispatch", 1, "sleep",
+                                    seconds=0.0)])
+        faults.install_plan(plan)
+        with obs_metrics.collecting() as registry:
+            faults.maybe_fault("serve.dispatch")
+        counters = registry.counter_values()
+        assert counters["faults.injected"] == 1
+        assert counters["faults.serve.dispatch"] == 1
+
+    def test_stats_reports_fired_specs(self):
+        plan = FaultPlan([FaultSpec("serve.dispatch", 1, "sleep",
+                                    seconds=0.0)])
+        faults.install_plan(plan)
+        faults.maybe_fault("serve.dispatch")
+        stats = plan.stats()
+        assert stats["specs"] == 1
+        assert stats["fired"] == [{"site": "serve.dispatch", "call": 1,
+                                   "kind": "sleep", "seconds": 0.0}]
+        assert json.dumps(stats)  # JSON-able for /v1/faults

@@ -1,0 +1,194 @@
+"""Tests for the durable job ledger (WAL append, replay, compaction).
+
+The ledger's promise: every appended transition survives ``kill -9``
+except possibly the one mid-write (the torn tail), replay collapses any
+segment history into one state per job, and compaction bounds the disk
+footprint without losing incomplete jobs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve.ledger import LEDGER_SCHEMA, JobLedger
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.uninstall_plan()
+    yield
+    faults.uninstall_plan()
+
+
+def _ledger(tmp_path, **kwargs) -> JobLedger:
+    return JobLedger(str(tmp_path / "ledger"), **kwargs)
+
+
+PAYLOAD = {"benchmark": "lud", "arch": "a100", "tier": "polygeist"}
+
+
+class TestAppendReplay:
+    def test_lifecycle_collapses_to_last_event(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        assert ledger.append("accepted", "j000001", signature="sig-a",
+                             payload=PAYLOAD)
+        assert ledger.append("running", "j000001")
+        assert ledger.append("done", "j000001", result={"seconds": 1.5})
+        states = ledger.replay()
+        state = states["j000001"]
+        assert state.event == "done" and state.finished
+        assert state.signature == "sig-a"
+        assert state.payload == PAYLOAD  # absorbed from "accepted"
+        assert state.result == {"seconds": 1.5}
+
+    def test_incomplete_job_not_finished(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j000002", signature="s",
+                      payload=PAYLOAD)
+        ledger.append("running", "j000002")
+        state = ledger.replay()["j000002"]
+        assert state.event == "running" and not state.finished
+
+    def test_recovered_event_is_informational(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        ledger.append("recovered", "j1")
+        assert ledger.replay()["j1"].event == "accepted"
+
+    def test_unknown_event_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown ledger event"):
+            _ledger(tmp_path).append("exploded", "j1")
+
+    def test_replay_preserves_insertion_order(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        for index in (3, 1, 2):
+            ledger.append("accepted", "j%06d" % index, payload=PAYLOAD)
+        assert list(ledger.replay()) == ["j000003", "j000001", "j000002"]
+
+    def test_fsync_every_append(self, tmp_path):
+        # the record must be on disk BEFORE append returns — read the
+        # segment through a different handle immediately after
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        [segment] = ledger.segments()
+        with open(segment) as handle:
+            record = json.loads(handle.readline())
+        assert record["job"] == "j1" and record["v"] == LEDGER_SCHEMA
+
+
+class TestCrashTolerance:
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", signature="s", payload=PAYLOAD)
+        ledger.append("done", "j1", result={"seconds": 2.0})
+        ledger.close()
+        [segment] = ledger.segments()
+        with open(segment, "a") as handle:  # the kill -9 shape
+            handle.write('{"v": 1, "event": "acce')
+        fresh = _ledger(tmp_path)
+        states = fresh.replay()
+        assert fresh.torn_records == 1
+        assert states["j1"].finished
+
+    def test_unknown_schema_skipped(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        ledger.close()
+        [segment] = ledger.segments()
+        with open(segment, "a") as handle:
+            handle.write(json.dumps({"v": 99, "event": "done",
+                                     "job": "j1"}) + "\n")
+        fresh = _ledger(tmp_path)
+        states = fresh.replay()
+        assert fresh.skipped_records == 1
+        assert not states["j1"].finished  # the v99 record did not apply
+
+    def test_append_failure_degrades_not_raises(self, tmp_path):
+        import shutil
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        ledger.close()
+        # the ledger directory vanishes out from under the daemon
+        # (chmod tricks don't work under root, so remove it outright)
+        shutil.rmtree(ledger.path)
+        open(ledger.path, "w").close()  # and a file squats on the path
+        assert ledger.append("running", "j1") is False
+        assert ledger.append_errors == 1
+        # and it self-heals once the directory is back
+        os.remove(ledger.path)
+        os.makedirs(ledger.path)
+        assert ledger.append("running", "j1") is True
+
+    def test_injected_append_fault_counted(self, tmp_path):
+        faults.install_plan(FaultPlan(
+            [FaultSpec("serve.ledger.append", 2, "raise")]))
+        ledger = _ledger(tmp_path)
+        assert ledger.append("accepted", "j1", payload=PAYLOAD)
+        assert ledger.append("running", "j1") is False  # injected
+        assert ledger.append_errors == 1
+        assert ledger.append("done", "j1", result={})
+
+
+class TestRotationCompaction:
+    def test_rotation_bounds_segment_size(self, tmp_path):
+        ledger = _ledger(tmp_path, max_segment_bytes=4096)
+        for index in range(60):
+            ledger.append("accepted", "j%06d" % index, payload=PAYLOAD)
+        assert len(ledger.segments()) > 1
+        assert ledger.rotations >= 1
+        for segment in ledger.segments()[:-1]:
+            assert os.path.getsize(segment) <= 4096
+
+    def test_recover_compacts_to_one_segment(self, tmp_path):
+        ledger = _ledger(tmp_path, max_segment_bytes=4096)
+        for index in range(40):
+            job = "j%06d" % index
+            ledger.append("accepted", job, signature="s%d" % index,
+                          payload=PAYLOAD)
+            ledger.append("done", job, result={"seconds": float(index)})
+        assert len(ledger.segments()) > 1
+        fresh = _ledger(tmp_path, max_segment_bytes=4096)
+        states = fresh.recover()
+        assert len(states) == 40
+        assert len(fresh.segments()) == 1
+        # the snapshot replays identically
+        again = _ledger(tmp_path).replay()
+        assert set(again) == set(states)
+        assert all(again[j].finished for j in again)
+        assert again["j000039"].result == {"seconds": 39.0}
+
+    def test_keep_finished_caps_history(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        for index in range(30):
+            job = "j%06d" % index
+            ledger.append("accepted", job, payload=PAYLOAD)
+            ledger.append("done", job, result={})
+        ledger.append("accepted", "j999999", payload=PAYLOAD)  # live
+        fresh = _ledger(tmp_path, keep_finished=10)
+        states = fresh.recover()
+        finished = [s for s in states.values() if s.finished]
+        assert len(finished) == 10
+        assert fresh.compacted_away == 20
+        assert "j999999" in states  # incomplete jobs are never dropped
+        assert not states["j999999"].finished
+
+    def test_append_resumes_after_recover(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        fresh = _ledger(tmp_path)
+        fresh.recover()
+        fresh.append("running", "j1")
+        assert _ledger(tmp_path).replay()["j1"].event == "running"
+
+    def test_stats_shape(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.append("accepted", "j1", payload=PAYLOAD)
+        stats = ledger.stats()
+        assert stats["appends"] == 1
+        assert stats["segments"] == 1
+        assert stats["bytes"] > 0
+        assert stats["schema"] == LEDGER_SCHEMA
+        assert json.dumps(stats)  # JSON-able for /v1/ledger

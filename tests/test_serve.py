@@ -298,7 +298,8 @@ def _start_server(**overrides):
     server.start()
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    client = ServeClient(server.url, timeout=10.0)
+    # retries=0: admission tests want the raw 429/503, not the backoff
+    client = ServeClient(server.url, timeout=10.0, retries=0)
     deadline = time.monotonic() + 10
     while not client.alive():
         assert time.monotonic() < deadline, "daemon never came up"
@@ -447,7 +448,8 @@ class TestAdmissionControl:
                 time.sleep(0.01)
             # admissions closed while the backlog still completes
             with pytest.raises((ServeError, OSError)) as excinfo:
-                ServeClient(server.url, timeout=5.0).submit(SOURCE_REQUEST)
+                ServeClient(server.url, timeout=5.0,
+                            retries=0).submit(SOURCE_REQUEST)
             if isinstance(excinfo.value, ServeError) \
                     and excinfo.value.status:
                 assert excinfo.value.status == 503
@@ -465,6 +467,306 @@ class TestAdmissionControl:
         assert server.drain(grace=20.0)
         assert all(s.pool_size == 0 for s in server._schedulers)
         assert server.queue.closed
+
+
+# -- client resilience: retry/backoff, daemon-death fail-fast ----------------
+
+
+class _ScriptedServer:
+    """An HTTP stub replaying a scripted list of (status, headers, body)
+    responses, for exercising the client's retry loop without a daemon."""
+
+    def __init__(self, script):
+        from http.server import BaseHTTPRequestHandler, \
+            ThreadingHTTPServer
+        self.script = list(script)
+        self.requests = []
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args):
+                pass
+
+            def _reply(self):
+                stub.requests.append(self.path)
+                status, headers, body = stub.script.pop(0) \
+                    if stub.script else (500, {}, {"error": "script over"})
+                payload = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):  # noqa: N802
+                self._reply()
+
+            def do_POST(self):  # noqa: N802
+                self.rfile.read(
+                    int(self.headers.get("Content-Length") or 0))
+                self._reply()
+
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.url = "http://127.0.0.1:%d" % self.httpd.server_address[1]
+        threading.Thread(target=self.httpd.serve_forever,
+                         daemon=True).start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+class TestClientRetry:
+    def test_429_retried_until_success(self):
+        stub = _ScriptedServer([
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (200, {}, {"job": "j000001", "state": "queued"}),
+        ])
+        try:
+            client = ServeClient(stub.url, retries=2, backoff=0.01)
+            assert client.submit(SOURCE_REQUEST)["job"] == "j000001"
+            assert len(stub.requests) == 3
+        finally:
+            stub.close()
+
+    def test_retry_honors_retry_after(self):
+        stub = _ScriptedServer([
+            (503, {"Retry-After": "0.4"}, {"error": "draining"}),
+            (200, {}, {"job": "j000002", "state": "queued"}),
+        ])
+        try:
+            client = ServeClient(stub.url, retries=1, backoff=0.01)
+            start = time.monotonic()
+            client.submit(SOURCE_REQUEST)
+            # the server asked for 0.4s; exponential backoff alone would
+            # have retried after ~0.01s
+            assert time.monotonic() - start >= 0.4
+        finally:
+            stub.close()
+
+    def test_retries_exhausted_raises_last_status(self):
+        stub = _ScriptedServer(
+            [(429, {"Retry-After": "0"}, {"error": "full"})] * 3)
+        try:
+            client = ServeClient(stub.url, retries=2, backoff=0.01)
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(SOURCE_REQUEST)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after == 0.0
+            assert len(stub.requests) == 3  # initial + 2 retries
+        finally:
+            stub.close()
+
+    def test_400_never_retried(self):
+        stub = _ScriptedServer([(400, {}, {"error": "bad body"})])
+        try:
+            client = ServeClient(stub.url, retries=3, backoff=0.01)
+            with pytest.raises(ServeError) as excinfo:
+                client.submit({})
+            assert excinfo.value.status == 400
+            assert len(stub.requests) == 1
+        finally:
+            stub.close()
+
+    def test_retries_zero_fails_fast(self):
+        stub = _ScriptedServer([(429, {}, {"error": "full"})])
+        try:
+            client = ServeClient(stub.url, retries=0)
+            with pytest.raises(ServeError):
+                client.submit(SOURCE_REQUEST)
+            assert len(stub.requests) == 1
+        finally:
+            stub.close()
+
+
+class TestWaitFailFast:
+    def test_wait_fails_fast_on_dead_daemon(self):
+        # nothing listens on port 9: connection refused, not a timeout
+        client = ServeClient("http://127.0.0.1:9", timeout=2.0,
+                             retries=0)
+        start = time.monotonic()
+        with pytest.raises(ServeError, match="unreachable"):
+            client.wait("j000001", timeout=120.0)
+        # fail-fast: nowhere near the 120s wait budget
+        assert time.monotonic() - start < 30
+
+    def test_wait_fails_fast_when_daemon_dies_mid_poll(
+            self, tmp_path, monkeypatch):
+        import repro.serve.server as server_module
+        release = threading.Event()
+
+        def stalled_job(payload, engine=None):
+            release.wait(30)
+            return run_tune_job(payload, engine=engine)
+
+        monkeypatch.setattr(server_module, "run_tune_job", stalled_job)
+        server, client = _start_server(
+            cache_dir=str(tmp_path / "cache"), workers=1)
+        try:
+            job = client.submit(SOURCE_REQUEST)["job"]
+            # the listener dies out from under the polling client
+            server._httpd.shutdown()
+            server._httpd.server_close()
+            start = time.monotonic()
+            with pytest.raises(ServeError, match="unreachable"):
+                client.wait(job, timeout=120.0)
+            assert time.monotonic() - start < 30
+        finally:
+            release.set()
+            server.drain(grace=20.0)
+
+
+# -- thread-isolation deadline ----------------------------------------------
+
+
+class TestThreadDeadline:
+    def test_thread_isolation_enforces_job_timeout(
+            self, tmp_path, monkeypatch):
+        import repro.serve.server as server_module
+
+        def stalled_job(payload, engine=None):
+            time.sleep(30)
+            return run_tune_job(payload, engine=engine)
+
+        monkeypatch.setattr(server_module, "run_tune_job", stalled_job)
+        server, client = _start_server(
+            cache_dir=str(tmp_path / "cache"), workers=1,
+            job_timeout=0.5, retries=0)
+        try:
+            job = client.submit(SOURCE_REQUEST)["job"]
+            start = time.monotonic()
+            with pytest.raises(ServeError, match="timeout"):
+                client.wait(job, timeout=60.0)
+            assert time.monotonic() - start < 20  # not the full stall
+            status = client.job(job)
+            assert status["state"] == "failed"
+            assert status["timeouts"] == 1
+            assert "abandoned" in status["error"]
+            stats = client.cache_stats()
+            assert stats["jobs"]["failed"] == 1
+            assert stats["jobs"]["timeouts"] == 1
+        finally:
+            server.drain(grace=20.0)
+
+
+# -- restart recovery (in-process) -------------------------------------------
+
+
+class TestRestartRecovery:
+    def test_accepted_job_recovered_and_completes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = ServerConfig(port=0, isolation="thread",
+                              cache_dir=cache_dir)
+        first = TuneServer(config)
+        submitted = first.submit_request(SOURCE_REQUEST)
+        # the daemon "dies" before any dispatcher ran: only the WAL's
+        # durable "accepted" record survives
+        first.ledger.close()
+        del first
+        server, client = _start_server(cache_dir=cache_dir)
+        try:
+            status = client.job(submitted["job"])
+            assert status["recovered"] is True
+            assert status["signature"] == submitted["signature"]
+            result = client.wait(submitted["job"], timeout=60.0)
+            assert result["state"] == "done"
+            assert client.cache_stats()["jobs"]["recovered"] == 1
+            ledger = client.ledger_stats()
+            assert ledger["enabled"] and ledger["recovered_jobs"] == 1
+        finally:
+            server.drain(grace=20.0)
+
+    def test_finished_job_answers_after_restart_with_same_result(
+            self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        server, client = _start_server(cache_dir=cache_dir)
+        try:
+            result = client.wait(client.submit(SOURCE_REQUEST)["job"],
+                                 timeout=60.0)
+        finally:
+            server.drain(grace=20.0)
+        again, client2 = _start_server(cache_dir=cache_dir)
+        try:
+            replay = client2.result(result["job"])
+            assert replay["_status"] == 200
+            assert replay["seconds"] == result["seconds"]
+            assert client2.ledger_stats()["replayed_finished"] == 1
+            # the job-id counter resumed past the replayed job, and the
+            # re-submitted problem replays the shared cache exactly
+            fresh = client2.submit(SOURCE_REQUEST)
+            assert fresh["job"] != result["job"]
+            final = client2.wait(fresh["job"], timeout=60.0)
+            assert final["cache_hit"] is True
+            assert final["seconds"] == pytest.approx(result["seconds"])
+        finally:
+            again.drain(grace=20.0)
+
+    def test_double_restart_is_idempotent(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        seed = TuneServer(ServerConfig(port=0, isolation="thread",
+                                       cache_dir=cache_dir))
+        job = seed.submit_request(SOURCE_REQUEST)["job"]
+        seed.ledger.close()
+        del seed
+        # two successive recoveries must re-admit the job exactly once
+        # each, never duplicate it
+        middle = TuneServer(ServerConfig(port=0, isolation="thread",
+                                         cache_dir=cache_dir))
+        assert middle.recovered_jobs == 1
+        assert [r.id for r in middle.queue.jobs()] == [job]
+        middle.ledger.close()
+        del middle
+        last = TuneServer(ServerConfig(port=0, isolation="thread",
+                                       cache_dir=cache_dir))
+        assert last.recovered_jobs == 1
+        assert [r.id for r in last.queue.jobs()] == [job]
+        last.ledger.close()
+
+    def test_rejected_jobs_are_not_resurrected(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = ServerConfig(port=0, isolation="thread",
+                              cache_dir=cache_dir, queue_depth=1)
+        first = TuneServer(config)
+        kept = first.submit_request(SOURCE_REQUEST)["job"]
+        with pytest.raises(QueueFull):
+            first.submit_request(dict(SOURCE_REQUEST, max_factor=2))
+        first.ledger.close()
+        del first
+        second = TuneServer(ServerConfig(port=0, isolation="thread",
+                                         cache_dir=cache_dir))
+        assert [r.id for r in second.queue.jobs()
+                if not r.finished] == [kept]
+        second.ledger.close()
+
+    def test_no_ledger_mode_opts_out(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        server, client = _start_server(cache_dir=cache_dir, ledger=False)
+        try:
+            client.wait(client.submit(SOURCE_REQUEST)["job"],
+                        timeout=60.0)
+            assert client.ledger_stats()["enabled"] is False
+            assert not os.path.isdir(os.path.join(cache_dir, "ledger"))
+        finally:
+            server.drain(grace=20.0)
+
+    def test_fault_endpoint_reports_plan(self, tmp_path):
+        from repro import faults
+        from repro.faults import FaultPlan
+        server, client = _start_server(cache_dir=str(tmp_path / "cache"))
+        try:
+            clean = client.fault_stats()
+            assert clean["installed"] is False
+            faults.install_plan(FaultPlan.seeded(11, faults=3))
+            stats = client.fault_stats()
+            assert stats["installed"] is True and stats["seed"] == 11
+        finally:
+            faults.uninstall_plan()
+            server.drain(grace=20.0)
 
 
 # -- real process: SIGTERM drain, CLI round trip -----------------------------
@@ -506,3 +808,65 @@ class TestServeProcess:
             if daemon.poll() is None:
                 daemon.kill()
                 daemon.communicate(timeout=30)
+
+    def test_sigkill_recovery_completes_with_same_signature(
+            self, tmp_path):
+        from repro.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+        request = {"benchmark": "lud", "arch": "a100", "max_factor": 4}
+        cache = str(tmp_path / "cache")
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(os.path.dirname(__file__),
+                                           os.pardir, "src"))
+
+        def start_daemon(tag, extra_env=None):
+            ready = tmp_path / ("ready-%s" % tag)
+            daemon = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--port", "0",
+                 "--workers", "1", "--isolation", "thread",
+                 "--cache", cache, "--ready-file", str(ready)],
+                env=dict(env, **(extra_env or {})),
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)
+            deadline = time.monotonic() + 30
+            while not ready.exists() or not ready.read_text().strip():
+                assert daemon.poll() is None, daemon.stdout.read()
+                assert time.monotonic() < deadline, "daemon never ready"
+                time.sleep(0.1)
+            return daemon, ready.read_text().strip()
+
+        # the victim stalls 30s inside the scheduler worker on its first
+        # job, guaranteeing the SIGKILL lands mid-run
+        stall = FaultPlan([FaultSpec("scheduler.worker", 1, "sleep",
+                                     seconds=30.0)])
+        victim, url = start_daemon("victim",
+                                   {FAULT_PLAN_ENV: stall.to_json()})
+        survivor = None
+        try:
+            client = ServeClient(url, timeout=10.0, retries=0)
+            submitted = client.submit(request)
+            job = submitted["job"]
+            deadline = time.monotonic() + 30
+            while client.job(job)["state"] != "running":
+                assert time.monotonic() < deadline, "job never ran"
+                time.sleep(0.1)
+            victim.kill()  # SIGKILL: no drain, no goodbye
+            victim.communicate(timeout=30)
+            survivor, url2 = start_daemon("survivor")
+            client2 = ServeClient(url2, timeout=10.0, retries=0)
+            status = client2.job(job)
+            assert status["recovered"] is True
+            assert status["signature"] == submitted["signature"]
+            result = client2.wait(job, timeout=120.0)
+            assert result["state"] == "done"
+            # the recovered run is indistinguishable from an
+            # uninterrupted one: an identical fresh submit replays warm
+            confirm = client2.wait(client2.submit(request)["job"],
+                                   timeout=120.0)
+            assert confirm["cache_hit"] is True
+            assert confirm["seconds"] == pytest.approx(result["seconds"])
+            assert client2.ledger_stats()["recovered_jobs"] == 1
+        finally:
+            for process in (victim, survivor):
+                if process is not None and process.poll() is None:
+                    process.kill()
+                    process.communicate(timeout=30)

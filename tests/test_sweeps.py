@@ -160,6 +160,30 @@ class TestSchedulerFailures:
         assert result.retries == 1
         assert results["ok"].ok and not results["ok"].degraded
 
+    def test_sequential_timeout_enforced(self):
+        # workers=1 without isolate takes the in-process path, which
+        # used to ignore the deadline entirely (and would hang here)
+        jobs = [Job("slow", {"kind": "sleep", "seconds": 30})] + \
+            _double_jobs(2)
+        scheduler = SweepScheduler(workers=1, timeout=0.3, retries=0,
+                                   degrade=False)
+        start = time.monotonic()
+        results = scheduler.run(_dispatch, jobs)
+        assert time.monotonic() - start < 20
+        assert not results["slow"].ok
+        assert results["slow"].timeouts == 1
+        assert "abandoned" in results["slow"].error
+        assert all(results["job-%d" % i].ok for i in range(2))
+
+    def test_sequential_timeout_counts_metric(self):
+        from repro.obs import metrics as obs_metrics
+        with obs_metrics.collecting() as registry:
+            scheduler = SweepScheduler(workers=1, timeout=0.2,
+                                       retries=0, degrade=False)
+            scheduler.run(_dispatch,
+                          [Job("slow", {"kind": "sleep", "seconds": 30})])
+        assert registry.counter_values().get("sweep.timeouts") == 1
+
     def test_exhausted_retries_fail_without_degrade(self):
         jobs = [Job("bad", {"kind": "boom", "x": 1})] + _double_jobs(1)
         scheduler = SweepScheduler(workers=2, retries=1, degrade=False,
@@ -248,6 +272,35 @@ def _cache_stress_worker(cache_dir, worker_index, rounds, barrier):
                     "torn read: %s vs %s" % (desc, stamp)
 
 
+def _quarantine_stress_worker(cache_dir, worker_index, workers, rounds,
+                              barrier):
+    """Store valid entries, plant torn/stale ones, and read everything
+    back while every other process does the same (plus LRU eviction)."""
+    barrier.wait()
+    entry = _stress_entry(worker_index)
+    for round_index in range(rounds):
+        cache = TuningCache(cache_dir, max_entries=64)
+        cache.store("shared-%d" % (round_index % _SHARED_KEYS), entry)
+        torn = "torn-%d-%d" % (worker_index, round_index)
+        stale = "stale-%d-%d" % (worker_index, round_index)
+        with open(os.path.join(cache_dir, torn + ".json"), "w") as handle:
+            handle.write('{"outcome": {"sel')  # torn mid-write
+        with open(os.path.join(cache_dir, stale + ".json"), "w") as handle:
+            handle.write('{"schema": 1, "outcome": null, '
+                         '"selected_config": null}')
+        reader = TuningCache(cache_dir, max_entries=64)
+        for other in range(workers):
+            for prefix in ("torn", "stale"):
+                hit, _ = reader.lookup("%s-%d-%d" %
+                                       (prefix, other, round_index))
+                assert not hit, "served a %s entry" % prefix
+        hit, got = reader.lookup("shared-%d" %
+                                 (round_index % _SHARED_KEYS))
+        if hit and got is not None and got.outcome is not None:
+            stamp = int(got.outcome.selected_time)
+            assert got.outcome.selected_desc == "winner-%d" % stamp
+
+
 class TestCacheConcurrency:
     def test_multiprocess_writers_never_corrupt(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
@@ -281,7 +334,7 @@ class TestCacheConcurrency:
         # all shared keys plus every worker's private keys made it
         assert parsed == _SHARED_KEYS + workers * rounds
 
-    def test_corrupt_entry_deleted_on_load(self, tmp_path):
+    def test_corrupt_entry_quarantined_on_load(self, tmp_path):
         cache_dir = str(tmp_path)
         cache = TuningCache(cache_dir)
         cache.store("good", _stress_entry(1))
@@ -291,19 +344,89 @@ class TestCacheConcurrency:
         fresh = TuningCache(cache_dir)
         hit, _ = fresh.lookup("bad")
         assert not hit
-        assert not os.path.exists(bad_path), \
-            "corrupt entry must be deleted, not retried forever"
+        # quarantined, not deleted: the key re-tunes, the evidence stays
+        assert not os.path.exists(bad_path)
+        assert os.path.exists(bad_path + ".quarantine")
+        assert fresh.quarantined == 1
+        assert fresh.stats()["quarantined"] == 1
         hit, entry = fresh.lookup("good")
         assert hit and entry.outcome.selected_desc == "winner-1"
 
-    def test_truncated_valid_json_deleted(self, tmp_path):
+    def test_truncated_valid_json_quarantined(self, tmp_path):
+        from repro.engine.cache import ENTRY_SCHEMA, entry_to_dict
         cache = TuningCache(str(tmp_path))
         path = os.path.join(str(tmp_path), "half.json")
+        payload = json.dumps(entry_to_dict(_stress_entry(3)))
         with open(path, "w") as handle:
-            handle.write('{"outcome": {"selected_desc": "x"}}')  # no time
+            handle.write(payload[:len(payload) // 2])  # torn mid-write
         hit, _ = cache.lookup("half")
         assert not hit
         assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantine")
+        assert cache.quarantined == 1
+        assert ENTRY_SCHEMA in json.loads(payload).values()
+
+    def test_stale_schema_quarantined(self, tmp_path):
+        from repro.engine.cache import entry_to_dict
+        cache = TuningCache(str(tmp_path))
+        stale = dict(entry_to_dict(_stress_entry(2)), schema=1)
+        path = os.path.join(str(tmp_path), "old.json")
+        with open(path, "w") as handle:
+            json.dump(stale, handle)
+        hit, _ = cache.lookup("old")
+        assert not hit, "a stale-schema entry must re-tune, not misread"
+        assert os.path.exists(path + ".quarantine")
+        assert cache.quarantined == 1
+        # quarantined files never count as cache occupancy
+        assert cache.disk_entries() == 0
+
+    def test_quarantine_survives_clear(self, tmp_path):
+        cache = TuningCache(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "bad.json"), "w") as handle:
+            handle.write("not json")
+        cache.lookup("bad")
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "bad.json.quarantine"))
+        cache.clear()  # clear() wipes quarantine files along with entries
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_concurrent_quarantine_under_store_evict(self, tmp_path):
+        """4 processes store/evict/plant-corruption concurrently; no bad
+        entry is ever served and every bad entry ends up quarantined."""
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        context = multiprocessing.get_context("fork")
+        workers, rounds = 4, 5
+        barrier = context.Barrier(workers)
+        procs = [context.Process(
+            target=_quarantine_stress_worker,
+            args=(cache_dir, index, workers, rounds, barrier))
+            for index in range(workers)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0, \
+                "stress worker failed (exitcode %s)" % proc.exitcode
+        # sweep the leftovers: any planted entry not yet tripped over
+        # must quarantine (never serve) on a fresh lookup
+        sweeper = TuningCache(cache_dir)
+        for name in sorted(os.listdir(cache_dir)):
+            if name.endswith(".json") and \
+                    name.startswith(("torn-", "stale-")):
+                hit, _ = sweeper.lookup(name[:-len(".json")])
+                assert not hit
+        names = sorted(os.listdir(cache_dir))
+        quarantined = [n for n in names if n.endswith(".quarantine")]
+        assert quarantined, "the planted corruption must leave evidence"
+        # every surviving live entry parses and is self-consistent
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(cache_dir, name)) as handle:
+                entry = entry_from_dict(json.load(handle))
+            stamp = int(entry.outcome.selected_time)
+            assert entry.outcome.selected_desc == "winner-%d" % stamp
 
 
 # -- sweep plans and determinism ---------------------------------------------
