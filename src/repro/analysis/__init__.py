@@ -7,7 +7,7 @@ shared-memory accounting).
 """
 
 from .affine import AffineForm, affine_of, stride_in
-from .shared_memory import shared_bytes_per_block
+from .shared_memory import shared_allocas, shared_bytes_per_block
 from .stats import KernelStats, kernel_statistics
 from .uniformity import contains_barrier, depends_on_values, is_uniform_in
 
@@ -15,8 +15,8 @@ __all__ = [
     "AffineForm", "BenchmarkAnalysis", "CheckReport", "KernelReport",
     "KernelStats", "affine_of", "analyze_benchmark", "check_files",
     "compare_records", "contains_barrier", "depends_on_values",
-    "is_uniform_in", "kernel_statistics", "shared_bytes_per_block",
-    "stride_in",
+    "is_uniform_in", "kernel_statistics", "shared_allocas",
+    "shared_bytes_per_block", "stride_in",
 ]
 
 #: report/check live behind a lazy import: they pull in the pipeline,

@@ -61,39 +61,40 @@ def affine_of(value: Value, depth: int = 0) -> AffineForm:
     become symbols with coefficient 1)."""
     if depth > _MAX_DEPTH:
         return AffineForm(0, {value: 1})
-    if isinstance(value, OpResult):
+    if value.__class__ is OpResult:
         op = value.owner
         name = op.name
         if name == arith.CONSTANT:
-            raw = op.attr("value")
+            raw = op.attributes.get("value")
             if isinstance(raw, bool) or not isinstance(raw, (int, float)):
                 return AffineForm(0, {value: 1})
             return AffineForm(int(raw))
+        operands = op._operands
         if name == "arith.addi":
-            return affine_of(op.operand(0), depth + 1).add(
-                affine_of(op.operand(1), depth + 1))
+            return affine_of(operands[0], depth + 1).add(
+                affine_of(operands[1], depth + 1))
         if name == "arith.subi":
-            return affine_of(op.operand(0), depth + 1).add(
-                affine_of(op.operand(1), depth + 1), scale=-1)
+            return affine_of(operands[0], depth + 1).add(
+                affine_of(operands[1], depth + 1), scale=-1)
         if name == "arith.muli":
-            lhs = affine_of(op.operand(0), depth + 1)
-            rhs = affine_of(op.operand(1), depth + 1)
+            lhs = affine_of(operands[0], depth + 1)
+            rhs = affine_of(operands[1], depth + 1)
             if lhs.is_constant:
                 return rhs.scaled(lhs.const)
             if rhs.is_constant:
                 return lhs.scaled(rhs.const)
             return AffineForm(0, {value: 1})
         if name == "arith.shli":
-            lhs = affine_of(op.operand(0), depth + 1)
-            rhs = affine_of(op.operand(1), depth + 1)
+            lhs = affine_of(operands[0], depth + 1)
+            rhs = affine_of(operands[1], depth + 1)
             if rhs.is_constant:
                 return lhs.scaled(1 << rhs.const)
             return AffineForm(0, {value: 1})
         if name in ("arith.index_cast", "arith.extsi", "arith.extui"):
-            return affine_of(op.operand(0), depth + 1)
+            return affine_of(operands[0], depth + 1)
         if name == "arith.divsi":
-            lhs = affine_of(op.operand(0), depth + 1)
-            rhs = affine_of(op.operand(1), depth + 1)
+            lhs = affine_of(operands[0], depth + 1)
+            rhs = affine_of(operands[1], depth + 1)
             if lhs.is_constant and rhs.is_constant and rhs.const != 0:
                 q = abs(lhs.const) // abs(rhs.const)
                 sign = 1 if (lhs.const >= 0) == (rhs.const >= 0) else -1

@@ -16,14 +16,15 @@ from ..ir import BlockArgument, Operation, OpResult, Value
 
 def contains_barrier(op: Operation) -> bool:
     """True if a ``polygeist.barrier`` is nested anywhere inside ``op``."""
-    found = []
-
-    def check(candidate: Operation) -> None:
+    stack = [op]
+    while stack:
+        candidate = stack.pop()
         if candidate.name == "polygeist.barrier":
-            found.append(candidate)
-
-    op.walk_preorder(check)
-    return bool(found)
+            return True
+        for region in candidate.regions:
+            for block in region.blocks:
+                stack.extend(block.ops)
+    return False
 
 
 def depends_on_values(value: Value, sources: Set[Value],
@@ -54,7 +55,7 @@ def depends_on_values(value: Value, sources: Set[Value],
             else:
                 result = any(depends_on_values(v, sources,
                                                loads_are_dependent, _cache)
-                             for v in op.operands)
+                             for v in op._operands)
         elif op.regions:
             # results of region ops (scf.if/for/while): depend on anything
             # used inside, conservatively: operands plus all nested operands
@@ -62,7 +63,7 @@ def depends_on_values(value: Value, sources: Set[Value],
                                         _cache)
         else:
             result = any(depends_on_values(v, sources, loads_are_dependent,
-                                           _cache) for v in op.operands)
+                                           _cache) for v in op._operands)
     elif isinstance(value, BlockArgument):
         owner_op = value.owner.parent_op if value.owner.parent else None
         if owner_op is None or owner_op.name in ("func.func", "gpu.func"):
@@ -72,7 +73,7 @@ def depends_on_values(value: Value, sources: Set[Value],
             # induction variables depend only on the loop bounds
             result = any(depends_on_values(v, sources, loads_are_dependent,
                                            _cache)
-                         for v in owner_op.operands)
+                         for v in owner_op._operands)
         else:
             # iteration args / while args: approximated by the whole loop
             result = _region_op_depends(owner_op, sources,
@@ -85,7 +86,7 @@ def _region_op_depends(op: Operation, sources: Set[Value],
                        loads_are_dependent: bool,
                        cache: Dict[Value, bool]) -> bool:
     if any(depends_on_values(v, sources, loads_are_dependent, cache)
-           for v in op.operands):
+           for v in op._operands):
         return True
     if loads_are_dependent:
         # any load nested inside makes the region's values unknown
@@ -117,12 +118,12 @@ def _external_operands(op: Operation) -> Set[Value]:
     op.walk_preorder(collect)
 
     def scan(child: Operation) -> None:
-        for operand in child.operands:
+        for operand in child._operands:
             if operand not in internal:
                 external.add(operand)
 
     op.walk_preorder(scan, include_self=False)
-    for operand in op.operands:
+    for operand in op._operands:
         external.add(operand)
     return external
 

@@ -12,8 +12,9 @@ Mirrors the paper's progressive filtering of alternative code paths:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..analysis import shared_bytes_per_block
 from ..dialects import polygeist
@@ -138,6 +139,90 @@ def prune_by_registers(alt: Operation, arch: GPUArchitecture,
     if len(report.survivors) < len(alt.regions):
         prune_alternatives(alt, report.survivors)
     return report
+
+
+def prune_planned_by_shared_memory(plans: Sequence,
+                                   arch: GPUArchitecture) -> FilterReport:
+    """Stage 1 on *planned* alternatives: score from coarsening metadata.
+
+    ``plans`` are :class:`~repro.transforms.alternatives.AlternativeInfo`
+    entries whose ``shared_bytes`` predicts the post-coarsening footprint
+    (block copies replicate every shared alloca, thread copies the ones
+    inside the thread loop) — the same number the IR-measuring stage
+    computes on a materialized clone, known before any clone exists.
+    Emits the same span, decisions, and metrics as
+    :func:`prune_by_shared_memory`; nothing is pruned in place because
+    nothing is materialized yet.
+    """
+    report = FilterReport()
+    decision = obs_decisions.active_decision()
+    with obs_tracer.span("filters.shared_memory", category="filters",
+                         alternatives=len(plans)) as span:
+        for index, info in enumerate(plans):
+            usage = info.shared_bytes
+            if usage > arch.shared_mem_per_block:
+                report.dropped_shared.append(
+                    "%s (%d B > %d B)" % (info.desc, usage,
+                                          arch.shared_mem_per_block))
+                if decision is not None:
+                    decision.eliminate(
+                        info.desc, obs_decisions.SHARED_MEMORY,
+                        "%d B static shared memory exceeds the %d B "
+                        "per-block limit" % (usage,
+                                             arch.shared_mem_per_block))
+            else:
+                report.survivors.append(index)
+                report.survivor_descs.append(info.desc)
+        span.set(survivors=len(report.survivors),
+                 dropped=len(report.dropped_shared))
+    obs_metrics.inc("filters.dropped_shared", len(report.dropped_shared))
+    return report
+
+
+def run_planned_filters(plans: Sequence, arch: GPUArchitecture,
+                        materialize: Callable[[List[int]], Operation],
+                        backend=None,
+                        stage=None) -> Tuple[FilterReport, Operation]:
+    """The lazy twin of :func:`run_filters`.
+
+    Runs the shared-memory stage on plan metadata, calls
+    ``materialize(survivor_indices)`` to build (and clean) IR for just the
+    survivors, then runs the register stage on the materialized op.
+    Returns ``(merged report, alternatives op)``; the merged report's
+    ``survivors`` index the original planned list, exactly like
+    :func:`run_filters`'s index the original region list. ``stage`` wraps
+    the filter evaluations in an engine accounting stage (materialization
+    does its own accounting inside the callback).
+    """
+    if stage is None:
+        def stage(_name):
+            return nullcontext()
+    total = len(plans)
+    with obs_tracer.span("filters", category="filters",
+                         alternatives=total) as span:
+        with stage("filters"):
+            shared_report = prune_planned_by_shared_memory(plans, arch)
+        # mirror run_filters: if every plan busts the shared-memory limit,
+        # keep them all and let the register stage's least-bad fallback
+        # pick, as the in-place pruning path does
+        if shared_report.survivors and \
+                len(shared_report.survivors) < total:
+            base = shared_report.survivors
+        else:
+            base = list(range(total))
+        alt = materialize(base)
+        with stage("filters"):
+            register_report = prune_by_registers(alt, arch,
+                                                 backend=backend)
+        merged = FilterReport(
+            survivors=[base[i] for i in register_report.survivors])
+        merged.survivor_descs = [plans[i].desc for i in merged.survivors]
+        merged.dropped_shared = shared_report.dropped_shared
+        merged.dropped_spills = register_report.dropped_spills
+        span.set(survivors=len(merged.survivors))
+    obs_metrics.inc("filters.runs")
+    obs_metrics.inc("filters.survivors", len(merged.survivors))
+    return merged, alt
 
 
 def run_filters(alt: Operation, arch: GPUArchitecture,

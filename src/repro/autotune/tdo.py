@@ -25,21 +25,24 @@ from ..simulator.model import (InvalidLaunch, LaunchTiming, block_count,
 from ..targets import GPUArchitecture, register_estimate_cache
 from ..transforms.alternatives import select_alternative
 from ..transforms.coarsen import block_parallels_in_region
-from .filters import FilterReport, run_filters
+from .filters import FilterReport, run_planned_filters
 
 logger = get_logger("autotune.tdo")
 
 
-def _cleanup_alternatives(wrapper: Operation) -> None:
+def _cleanup_alternatives(alt: Operation) -> None:
     """Clean the coarsened clones (CSE / redundant-load elimination) so the
-    backend stages see what a real compiler would emit."""
-    from ..ir import Module
-    root = wrapper
-    while root.parent_op is not None:
-        root = root.parent_op
-    if root.name == "builtin.module":
-        from ..transforms import run_cleanup
-        run_cleanup(Module(root))
+    backend stages see what a real compiler would emit.
+
+    Scoped: only the ``polygeist.alternatives`` regions are rewritten. The
+    surrounding module was already cleaned to a fixpoint by the pipeline's
+    pre-tuning cleanup, and every pass effect is block-local or downward,
+    so this produces the same IR as re-cleaning the whole module (the
+    benchsuite-wide equivalence test in ``tests/test_scoped_cleanup.py``
+    asserts printed-IR equality).
+    """
+    from ..transforms import cleanup_regions
+    cleanup_regions(list(alt.regions))
 
 
 @dataclass
@@ -67,6 +70,12 @@ class TuneOutcome:
     validation: Optional[object] = None
 
     def speedup_over(self, baseline_desc: str) -> float:
+        """Speedup of the selection relative to ``baseline_desc``.
+
+        Raises :class:`KeyError` when no *valid* candidate carries that
+        description — a missing or invalid baseline is a broken
+        comparison, not parity, and must not read as 1.0x.
+        """
         for candidate in self.candidates:
             if candidate.desc == baseline_desc and candidate.valid:
                 if self.selected_time <= 0.0:
@@ -75,7 +84,8 @@ class TuneOutcome:
                     return float("inf") if candidate.time_seconds > 0.0 \
                         else 1.0
                 return candidate.time_seconds / self.selected_time
-        return 1.0
+        raise KeyError("no valid candidate named %r to compare against"
+                       % baseline_desc)
 
 
 def _time_region(alt: Operation, index: int, arch: GPUArchitecture,
@@ -424,7 +434,7 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
     the :class:`~repro.pipeline.Program` level, not here.
     """
     from contextlib import nullcontext
-    from ..transforms.alternatives import generate_coarsening_alternatives
+    from ..transforms.alternatives import plan_coarsening_alternatives
 
     stats = engine.stats if engine is not None else None
     backend = engine.backend if engine is not None else None
@@ -438,14 +448,14 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
         if log is not None else None
     baseline_func = sizing_wrapper = None
     if validate:
-        # the baseline must be cloned before generation erases the body
+        # the baseline must be cloned before materialization erases the body
         baseline_func, sizing_wrapper = _clone_baseline(wrapper)
         if baseline_func is None and decision is not None:
             decision.note("validation skipped: wrapper not nested in a "
                           "function")
     with stage("alternatives"), \
             obs_tracer.span("tune.alternatives", category="tune"):
-        report = generate_coarsening_alternatives(wrapper, configs)
+        report = plan_coarsening_alternatives(wrapper, configs)
     if stats is not None:
         stats.count("alternative_generations")
         stats.count("alternatives_generated", len(report.alternatives))
@@ -457,16 +467,28 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
             decision.add(repr(config), config=config)
             decision.eliminate(repr(config), obs_decisions.GENERATION,
                                "illegal coarsening: %s" % reason)
-    if report.op is None:
+    if not report.alternatives:
         raise ValueError("no legal coarsening configuration: %s" %
                          "; ".join(report.rejected))
-    with stage("cleanup"):
-        _cleanup_alternatives(wrapper)
-    # the IR is stable from here until selection, so the spill filter and
-    # the timing models may share one register-estimate memo per loop
+
+    def materialize(indices):
+        # clones are built only for the plans that survived the early
+        # metadata filter; cost scales with survivors, not candidates
+        with stage("alternatives"), \
+                obs_tracer.span("tune.materialize", category="tune",
+                                alternatives=len(indices)):
+            alt = report.materialize(indices)
+        with stage("cleanup"):
+            _cleanup_alternatives(alt)
+        return alt
+
+    # the IR is stable from materialization until selection, so the spill
+    # filter and the timing models may share one register-estimate memo
+    # per loop
     with register_estimate_cache():
-        with stage("filters"):
-            filters = run_filters(report.op, arch, backend=backend)
+        filters, alt = run_planned_filters(report.alternatives, arch,
+                                           materialize, backend=backend,
+                                           stage=stage)
         validation = validation_keep = None
         if validate and baseline_func is not None:
             # gate after the cheap static filters, before the timing race:
@@ -474,9 +496,9 @@ def tune_wrapper(wrapper: Operation, arch: GPUArchitecture,
             with stage("validate"), \
                     obs_tracer.span("tune.validate", category="tune"):
                 validation, validation_keep = _validation_gate(
-                    report.op, baseline_func, sizing_wrapper, env, decision)
+                    alt, baseline_func, sizing_wrapper, env, decision)
         with stage("tdo"):
-            outcome = timing_driven_optimization(report.op, arch, env,
+            outcome = timing_driven_optimization(alt, arch, env,
                                                  backend=backend)
     outcome.filters = filters
     outcome.validation = validation

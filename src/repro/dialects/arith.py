@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ir import (Builder, F32, F64, I1, INDEX, FloatType, IndexType,
-                  IntegerType, Operation, Type, Value, register_op_verifier)
+                  IntegerType, Operation, OpResult, Type, Value,
+                  register_op_verifier)
 
 CONSTANT = "arith.constant"
 SELECT = "arith.select"
@@ -140,9 +141,8 @@ def sitofp(builder: Builder, value: Value, to: Type = F32) -> Value:
 
 def constant_value(value: Value):
     """The Python value of an ``arith.constant`` result, or None."""
-    from ..ir import OpResult
     if isinstance(value, OpResult) and value.owner.name == CONSTANT:
-        return value.owner.attr("value")
+        return value.owner.attributes.get("value")
     return None
 
 

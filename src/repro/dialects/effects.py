@@ -3,6 +3,8 @@ checks in the coarsening transformations."""
 
 from __future__ import annotations
 
+from typing import Dict
+
 from ..ir import Operation
 
 #: ops with no side effects whose results depend only on operands
@@ -33,14 +35,24 @@ def _pure_by_name(name: str) -> bool:
     return False
 
 
+_IMPURE = frozenset(_READ | _WRITE | _READ_WRITE | _ALLOC | _SYNC |
+                    _TERMINATORS | {"func.call", "gpu.launch_func"})
+
+#: purity depends only on the op name (region-free ops), so memoize it —
+#: this runs once per op per CSE sweep and the set unions are not free
+_PURE_BY_NAME_CACHE: Dict[str, bool] = {}
+
+
 def is_pure(op: Operation) -> bool:
     """True if the op can be duplicated, reordered, or removed when unused."""
     if op.regions:
         return False
-    if op.name in (_READ | _WRITE | _READ_WRITE | _ALLOC | _SYNC |
-                   _TERMINATORS | {"func.call", "gpu.launch_func"}):
-        return False
-    return _pure_by_name(op.name)
+    name = op.name
+    pure = _PURE_BY_NAME_CACHE.get(name)
+    if pure is None:
+        pure = name not in _IMPURE and _pure_by_name(name)
+        _PURE_BY_NAME_CACHE[name] = pure
+    return pure
 
 
 def reads_memory(op: Operation) -> bool:

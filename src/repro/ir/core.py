@@ -256,8 +256,40 @@ class Operation:
             if result.has_uses():
                 raise ValueError(
                     "erasing %s whose result still has uses" % self.name)
-        self.walk(lambda op: op.drop_all_operand_uses(), include_self=False)
-        self.drop_all_operand_uses()
+        if not self.regions:
+            self.drop_all_operand_uses()
+            self.detach()
+            return
+        # subtree erase: values defined inside die wholesale, so only
+        # uses of values defined *outside* need unlinking — and each
+        # such value's use list is rebuilt once, instead of scanned once
+        # per erased use (quadratic for high-fan-out values like
+        # constants feeding a large erased nest)
+        dead_ops = set()
+        internal = set()
+        ops = []
+        stack = [self]
+        while stack:
+            op = stack.pop()
+            dead_ops.add(id(op))
+            ops.append(op)
+            for result in op.results:
+                internal.add(id(result))
+            for region in op.regions:
+                for block in region.blocks:
+                    for arg in block.args:
+                        internal.add(id(arg))
+                    stack.extend(block.ops)
+        touched = {}
+        for op in ops:
+            for operand in op._operands:
+                key = id(operand)
+                if key not in internal and key not in touched:
+                    touched[key] = operand
+            op._operands = []
+        for operand in touched.values():
+            operand.uses = [use for use in operand.uses
+                            if id(use.owner) not in dead_ops]
         self.detach()
 
     def replace_all_uses_with(self, values: Sequence[Value]) -> None:
@@ -303,28 +335,65 @@ class Operation:
         ``value_map`` maps values defined *outside* the clone to replacements;
         it is updated with the results and nested block arguments of the clone
         so callers can chain clones.
+
+        Cloning is the hottest allocation path of alternative generation
+        (every coarsening candidate clones the whole wrapper), so objects
+        are built via ``__new__`` and field stores rather than the checked
+        constructors. ``_stable_uid`` is deliberately not carried over:
+        clones get their own uid on first request.
         """
         if value_map is None:
             value_map = {}
-        operands = [value_map.get(v, v) for v in self._operands]
-        new_op = Operation(self.name, operands,
-                           [r.type for r in self.results],
-                           dict(self.attributes))
-        for old_res, new_res in zip(self.results, new_op.results):
-            new_res.name_hint = old_res.name_hint
-            value_map[old_res] = new_res
+        vget = value_map.get
+        new_op = Operation.__new__(Operation)
+        new_op.name = self.name
+        attributes = self.attributes
+        new_op.attributes = dict(attributes) if attributes else {}
+        new_op.parent = None
+        operands = [vget(v, v) for v in self._operands]
+        new_op._operands = operands
+        new_results: List[OpResult] = []
+        for index, old in enumerate(self.results):
+            result = OpResult.__new__(OpResult)
+            result.type = old.type
+            result.name_hint = old.name_hint
+            result.uses = []
+            result.owner = new_op
+            result.index = index
+            value_map[old] = result
+            new_results.append(result)
+        new_op.results = new_results
+        for index, value in enumerate(operands):
+            value.uses.append(Use(new_op, index))
+        new_regions: List[Region] = []
         for region in self.regions:
-            new_region = Region()
-            new_op.add_region(new_region)
+            new_region = Region.__new__(Region)
+            new_region.parent = new_op
+            new_blocks: List[Block] = []
             for block in region.blocks:
-                new_block = Block(
-                    arg_types=[a.type for a in block.args],
-                    arg_names=[a.name_hint for a in block.args])
-                new_region.add_block(new_block)
-                for old_arg, new_arg in zip(block.args, new_block.args):
-                    value_map[old_arg] = new_arg
-                for op in block.ops:
-                    new_block.append(op.clone(value_map))
+                new_block = Block.__new__(Block)
+                new_block.parent = new_region
+                new_args: List[BlockArgument] = []
+                for index, old_arg in enumerate(block.args):
+                    arg = BlockArgument.__new__(BlockArgument)
+                    arg.type = old_arg.type
+                    arg.name_hint = old_arg.name_hint
+                    arg.uses = []
+                    arg.owner = new_block
+                    arg.index = index
+                    value_map[old_arg] = arg
+                    new_args.append(arg)
+                new_block.args = new_args
+                new_ops: List[Operation] = []
+                for child in block.ops:
+                    cloned = child.clone(value_map)
+                    cloned.parent = new_block
+                    new_ops.append(cloned)
+                new_block.ops = new_ops
+                new_blocks.append(new_block)
+            new_region.blocks = new_blocks
+            new_regions.append(new_region)
+        new_op.regions = new_regions
         return new_op
 
     def __repr__(self) -> str:
@@ -353,11 +422,19 @@ class Block:
         return arg
 
     def append(self, op: Operation) -> Operation:
+        if op.parent is not None and op.parent is not self:
+            raise ValueError(
+                "cannot append %s: it already belongs to another block "
+                "(detach it first)" % op.name)
         op.parent = self
         self.ops.append(op)
         return op
 
     def insert(self, index: int, op: Operation) -> Operation:
+        if op.parent is not None and op.parent is not self:
+            raise ValueError(
+                "cannot insert %s: it already belongs to another block "
+                "(detach it first)" % op.name)
         op.parent = self
         self.ops.insert(index, op)
         return op

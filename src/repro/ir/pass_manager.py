@@ -98,43 +98,48 @@ class PassManager:
             obs_metrics.observe("pass.%s.seconds" % record.name,
                                 record.seconds)
 
+    def _run_one(self, pass_: Pass, module: Module) -> bool:
+        """Run a single pass over ``module``, recording its outcome."""
+        name = str(pass_)
+        observing = obs_tracer.enabled() or obs_metrics.enabled()
+        before = count_ops(module) if observing else None
+        span = obs_tracer.span("pass:%s" % name, category="pass")
+        start = time.perf_counter()
+        try:
+            with span:
+                changed = pass_.run(module)
+                if self.verify:
+                    verify_module(module)
+                after = count_ops(module) if observing else None
+                self._finish(PassRecord(name,
+                                        time.perf_counter() - start,
+                                        changed, ops_before=before,
+                                        ops_after=after), span)
+        except Exception as error:
+            elapsed = time.perf_counter() - start
+            after = count_ops(module) if observing else None
+            self._finish(PassRecord(name, elapsed, False, failed=True,
+                                    ops_before=before, ops_after=after),
+                         obs_tracer.NULL_SPAN)
+            if getattr(error, "failing_pass", None) is None:
+                try:
+                    error.failing_pass = name
+                except AttributeError:
+                    pass  # exceptions with __slots__ cannot carry it
+            logger.debug("pass %s failed after %.6fs: %s",
+                         name, elapsed, error)
+            raise
+        if changed:
+            self.changed_passes.append(name)
+        return changed
+
     def run(self, module: Module) -> bool:
         self.changed_passes = []
         self.records = []
         changed_any = False
-        observing = obs_tracer.enabled() or obs_metrics.enabled()
         for pass_ in self.passes:
-            name = str(pass_)
-            before = count_ops(module) if observing else None
-            span = obs_tracer.span("pass:%s" % name, category="pass")
-            start = time.perf_counter()
-            try:
-                with span:
-                    changed = pass_.run(module)
-                    if self.verify:
-                        verify_module(module)
-                    after = count_ops(module) if observing else None
-                    self._finish(PassRecord(name,
-                                            time.perf_counter() - start,
-                                            changed, ops_before=before,
-                                            ops_after=after), span)
-            except Exception as error:
-                elapsed = time.perf_counter() - start
-                after = count_ops(module) if observing else None
-                self._finish(PassRecord(name, elapsed, False, failed=True,
-                                        ops_before=before, ops_after=after),
-                             obs_tracer.NULL_SPAN)
-                if getattr(error, "failing_pass", None) is None:
-                    try:
-                        error.failing_pass = name
-                    except AttributeError:
-                        pass  # exceptions with __slots__ cannot carry it
-                logger.debug("pass %s failed after %.6fs: %s",
-                             name, elapsed, error)
-                raise
-            if changed:
+            if self._run_one(pass_, module):
                 changed_any = True
-                self.changed_passes.append(name)
         return changed_any
 
     def run_until_fixpoint(self, module: Module, max_iterations: int = 16
@@ -143,3 +148,33 @@ class PassManager:
         for _ in range(max_iterations):
             if not self.run(module):
                 return
+
+    def run_modules_until_fixpoint(self, modules: Iterable[Module],
+                                   max_iterations: int = 16) -> None:
+        """Drive each module to its own pipeline fixpoint, round-robin.
+
+        Per module, passes run cyclically with per-pass change tracking:
+        the loop stops as soon as ``len(passes)`` *consecutive* pass runs
+        report no change. A no-change run leaves the IR untouched, so the
+        sequence of mutating pass applications — and therefore the final
+        IR — is identical to :meth:`run_until_fixpoint`; an already-clean
+        module exits after exactly one sweep instead of re-running the
+        whole pipeline to confirm the fixpoint.
+        """
+        num_passes = len(self.passes)
+        self.changed_passes = []
+        self.records = []
+        if num_passes == 0:
+            return
+        for module in modules:
+            clean_streak = 0
+            budget = max_iterations * num_passes
+            while clean_streak < num_passes and budget > 0:
+                for pass_ in self.passes:
+                    if self._run_one(pass_, module):
+                        clean_streak = 0
+                    else:
+                        clean_streak += 1
+                    budget -= 1
+                    if clean_streak >= num_passes or budget <= 0:
+                        break

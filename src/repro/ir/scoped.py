@@ -1,0 +1,68 @@
+"""A module facade over one region, for region-scoped pass pipelines.
+
+Cleaning the freshly coarsened regions of a ``polygeist.alternatives`` op
+through the whole-module pipeline re-walks the entire module once per
+tuned wrapper — the dominant cost of alternative generation at scale. A
+:class:`RegionModule` wraps a single region in a synthetic
+``builtin.module`` op so the standard passes (which only ever consume
+``module.op`` / ``module.body`` and walk downward) run over just that
+region.
+
+The wrapped region is **not** re-parented: ``region.parent`` keeps
+pointing at the owning op (e.g. the alternatives op), so the facade can
+be used on live IR and discarded afterwards. The facade additionally
+exposes the enclosing nesting path so scope-sensitive passes (CSE) can
+seed their outer-scope tables exactly as a whole-module run would have.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .core import Block, Operation, Region
+
+
+class RegionModule:
+    """Duck-types :class:`~repro.ir.module.Module` for one region.
+
+    Only valid for single-block regions (all structured IR in this
+    project) whose owning op is attached to a real module; passes must
+    only walk downward from ``op`` / ``body``, which every pass in the
+    cleanup pipeline does.
+    """
+
+    def __init__(self, region: Region):
+        if not region.blocks:
+            raise ValueError("RegionModule needs a region with a block")
+        facade = Operation.__new__(Operation)
+        facade.name = "builtin.module"
+        facade.attributes = {}
+        facade.parent = None
+        facade._operands = []
+        facade.results = []
+        # deliberately bypasses add_region: the region stays owned by its
+        # real parent op
+        facade.regions = [region]
+        self.op = facade
+        self.region = region
+
+    @property
+    def body(self) -> Block:
+        return self.region.blocks[0]
+
+    def enclosing_scope_blocks(self) -> List[Tuple[Block, Operation]]:
+        """The nesting path from the root down to the wrapped region.
+
+        Returns ``(block, op_on_path)`` pairs, outermost first: ``block``
+        encloses the region and ``op_on_path`` is the op in that block
+        through which the nesting descends. Ops *before* ``op_on_path``
+        in ``block`` are exactly the ones a whole-module pass run would
+        have seen before entering the region.
+        """
+        path: List[Tuple[Block, Operation]] = []
+        op = self.region.parent
+        while op is not None and op.parent is not None:
+            path.append((op.parent, op))
+            op = op.parent_op
+        path.reverse()
+        return path

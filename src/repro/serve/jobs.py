@@ -244,9 +244,15 @@ class JobRecord:
     signature: str
     payload: Dict[str, Any]
     state: str = QUEUED
+    #: wall-clock timestamps, for display only — never subtract these:
+    #: time.time() jumps under NTP slew/step and DST, so durations come
+    #: from the monotonic anchors below
     queued_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    _queued_mono: float = field(default_factory=time.monotonic, repr=False)
+    _started_mono: Optional[float] = field(default=None, repr=False)
+    _finished_mono: Optional[float] = field(default=None, repr=False)
     result: Optional[Dict[str, Any]] = None
     error: str = ""
     attempts: int = 0
@@ -263,11 +269,13 @@ class JobRecord:
         with self._lock:
             self.state = RUNNING
             self.started_at = time.time()
+            self._started_mono = time.monotonic()
 
     def finish(self, job_result) -> None:
         """Absorb the scheduler's :class:`JobResult`."""
         with self._lock:
             self.finished_at = time.time()
+            self._finished_mono = time.monotonic()
             self.attempts = job_result.attempts
             self.timeouts = job_result.timeouts
             self.live_stats = None
@@ -286,7 +294,7 @@ class JobRecord:
     def status_dict(self) -> Dict[str, Any]:
         """The ``GET /v1/jobs/<id>`` payload."""
         with self._lock:
-            now = time.time()
+            now = time.monotonic()
             payload: Dict[str, Any] = {
                 "job": self.id,
                 "state": self.state,
@@ -300,14 +308,16 @@ class JobRecord:
                 "recovered": self.recovered,
             }
             if self.state == QUEUED:
-                payload["waiting_seconds"] = now - self.queued_at
+                payload["waiting_seconds"] = now - self._queued_mono
             elif self.state == RUNNING:
-                payload["running_seconds"] = now - (self.started_at or now)
+                payload["running_seconds"] = \
+                    now - (self._started_mono or now)
                 if self.live_stats is not None:
                     payload["stages"] = dict(self.live_stats.stage_seconds)
             else:
                 payload["wall_seconds"] = \
-                    (self.finished_at or now) - (self.started_at or now)
+                    (self._finished_mono or now) - \
+                    (self._started_mono or now)
             if self.state == DONE and self.result is not None:
                 payload["seconds"] = self.result["seconds"]
                 payload["cache_hit"] = self.result["cache_hit"]

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dialects import arith
 from ..ir import (Block, FloatType, IndexType, IntegerType, MemRefType,
-                  Operation, Type, Value)
+                  Operation, OpResult, Type, Value)
 
 
 @dataclass
@@ -75,7 +75,6 @@ def _kind_of(op: Operation) -> Optional[str]:
 
 def _value_registers(value: Value) -> int:
     """32-bit registers needed to hold a value (0 when rematerializable)."""
-    from ..ir import OpResult
     if isinstance(value, OpResult) and \
             value.owner.name == "arith.constant":
         return 0  # immediates are rematerialized
@@ -153,10 +152,28 @@ def linearize_thread_body(thread_parallel: Operation) -> Linearized:
     walk_block(thread_parallel.body_block(), 0)
 
     # extend lifetimes across loop back-edges: any value defined before a
-    # loop and used inside it stays live until the loop's end
-    for start, end in lin.loop_spans:
-        for value, use in list(lin.last_use.items()):
-            definition = lin.def_index.get(value, 0)
-            if definition < start and start <= use <= end:
-                lin.last_use[value] = max(lin.last_use[value], end)
+    # loop and used inside it stays live until the loop's end. Values are
+    # bucketed by their current last use so each span only inspects the
+    # indices it covers (spans are in post-order, so by the time an outer
+    # span is processed, inner-span extensions have already landed in its
+    # range — the same cascade the naive spans × values scan produces).
+    if lin.loop_spans:
+        buckets: Dict[int, List[Value]] = {}
+        for value, use in lin.last_use.items():
+            buckets.setdefault(use, []).append(value)
+        def_index = lin.def_index
+        last_use = lin.last_use
+        for start, end in lin.loop_spans:
+            for use in range(start, end):  # use == end extends to itself
+                values = buckets.get(use)
+                if not values:
+                    continue
+                kept = []
+                for value in values:
+                    if def_index.get(value, 0) < start:
+                        last_use[value] = end
+                        buckets.setdefault(end, []).append(value)
+                    else:
+                        kept.append(value)
+                buckets[use] = kept
     return lin

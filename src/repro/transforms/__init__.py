@@ -8,8 +8,9 @@ coarsening, §V), and :mod:`alternatives` (compile-time multi-versioning,
 §VI).
 """
 
-from .alternatives import (AlternativeInfo, generate_coarsening_alternatives,
-                           select_alternative)
+from .alternatives import (AlternativeInfo, PlannedAlternatives,
+                           generate_coarsening_alternatives,
+                           plan_coarsening_alternatives, select_alternative)
 from .barrier_elim import BarrierElimination
 from .canonicalize import Canonicalize
 from .coarsen import (CoarsenError, CoarsenResult, balance_factors,
@@ -19,7 +20,7 @@ from .dce import DCE
 from .licm import LICM
 from .load_elim import RedundantLoadElimination
 from .outline import outline_gpu_wrappers
-from .pipeline import default_cleanup_pipeline, run_cleanup
+from .pipeline import cleanup_regions, default_cleanup_pipeline, run_cleanup
 from .unroll_interleave import IllegalUnroll, check_unroll_legality, \
     unroll_and_interleave
 
@@ -27,8 +28,10 @@ __all__ = [
     "AlternativeInfo", "BarrierElimination", "CSE", "Canonicalize",
     "CoarsenError", "CoarsenResult", "DCE", "IllegalUnroll", "LICM",
     "balance_factors", "block_coarsen", "check_unroll_legality",
-    "coarsen_wrapper", "default_cleanup_pipeline",
-    "generate_coarsening_alternatives", "outline_gpu_wrappers", "RedundantLoadElimination",
+    "cleanup_regions", "coarsen_wrapper", "default_cleanup_pipeline",
+    "generate_coarsening_alternatives", "outline_gpu_wrappers",
+    "PlannedAlternatives", "plan_coarsening_alternatives",
+    "RedundantLoadElimination",
     "run_cleanup", "select_alternative", "thread_coarsen",
     "unroll_and_interleave",
 ]

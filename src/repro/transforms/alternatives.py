@@ -5,26 +5,39 @@ parallel nest; the clones become regions of one ``polygeist.alternatives``
 op. Later pipeline stages prune regions (shared-memory limits, register
 spills) and finally TDO selects exactly one, which
 :func:`select_alternative` splices back in place.
+
+Generation is two-phase so its cost scales with *survivors*, not
+candidates: :func:`plan_coarsening_alternatives` legality-checks every
+config and predicts its post-coarsening shared-memory footprint without
+cloning anything, and :meth:`PlannedAlternatives.materialize` builds full
+IR clones only for the configs that survive the early filters. The
+one-shot :func:`generate_coarsening_alternatives` (plan + materialize
+everything) is kept for callers that need all regions, e.g. profiling and
+differential validation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis import shared_allocas
 from ..dialects import polygeist
 from ..ir import Operation, Region
-from .coarsen import CoarsenError, CoarsenResult, coarsen_wrapper
+from .coarsen import (CoarsenError, CoarsenResult, block_parallels,
+                      coarsen_wrapper, plan_coarsening, thread_parallel)
 
 
 @dataclass
 class AlternativeInfo:
-    """Metadata about one generated alternative region."""
+    """Metadata about one generated (or planned) alternative region."""
 
     index: int
     desc: str
     config: Dict[str, object]
     result: CoarsenResult
+    #: predicted static shared memory per block after coarsening, in bytes
+    shared_bytes: int = 0
 
 
 @dataclass
@@ -38,6 +51,107 @@ class AlternativesReport:
     rejected_configs: List[tuple] = field(default_factory=list)
 
 
+def _shared_alloca_split(main: Operation) -> Tuple[int, int]:
+    """Static shared bytes under the main block loop, split into
+    (outside the thread loop, inside the thread loop).
+
+    Block coarsening replicates *everything* under the block loop, thread
+    coarsening only the thread loop's body — and only the first thread
+    loop, which is exactly the one :func:`thread_parallel` resolves.
+    """
+    total = sum(op.result().type.size_bytes()
+                for op in shared_allocas(main))
+    try:
+        threads = thread_parallel(main)
+    except CoarsenError:
+        return total, 0
+    inside = sum(op.result().type.size_bytes()
+                 for op in shared_allocas(threads))
+    return total - inside, inside
+
+
+@dataclass
+class PlannedAlternatives:
+    """Legality-checked coarsening candidates, not yet materialized."""
+
+    wrapper: Operation
+    alternatives: List[AlternativeInfo] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+    rejected_configs: List[tuple] = field(default_factory=list)
+    #: wrapper clones built so far (one per materialized alternative)
+    clones_materialized: int = 0
+    _consumed: bool = field(default=False, repr=False)
+
+    def materialize(self, indices: Iterable[int]) -> Operation:
+        """Build the alternatives op holding exactly ``indices``' regions.
+
+        Clones and coarsens one region per index (in the given order),
+        replaces the wrapper's body with the resulting
+        ``polygeist.alternatives`` op, and returns it. One-shot: the
+        wrapper body is consumed.
+        """
+        if self._consumed:
+            raise ValueError("alternatives were already materialized")
+        self._consumed = True
+        wrapper = self.wrapper
+        regions: List[Region] = []
+        descs: List[str] = []
+        for index in indices:
+            info = self.alternatives[index]
+            clone = wrapper.clone({})
+            self.clones_materialized += 1
+            result = coarsen_wrapper(clone, **info.config)
+            if result.describe() != info.desc:
+                raise AssertionError(
+                    "coarsening plan promised %s but materialization "
+                    "produced %s" % (info.desc, result.describe()))
+            info.result = result
+            regions.append(clone.region(0))
+            descs.append(info.desc)
+        alt = Operation(polygeist.ALTERNATIVES, [], [],
+                        {polygeist.DESCS_ATTR: descs}, regions)
+        body = wrapper.body_block()
+        # erase the original nest (in reverse, so defs outlive their uses)
+        for op in reversed(list(body.ops)):
+            op.erase()
+        body.append(alt)
+        return alt
+
+
+def plan_coarsening_alternatives(
+        wrapper: Operation,
+        configs: Sequence[Dict[str, object]]) -> PlannedAlternatives:
+    """Legality-check every config against ``wrapper`` without cloning.
+
+    Produces the same legal/illegal partition, descriptions, and
+    rejection messages as eager generation, plus a per-survivor
+    shared-memory prediction for the early pruning filter. The wrapper is
+    left untouched until :meth:`PlannedAlternatives.materialize`.
+    """
+    if wrapper.name != polygeist.GPU_WRAPPER:
+        raise ValueError("expected a polygeist.gpu_wrapper")
+    planned = PlannedAlternatives(wrapper)
+    layout: Optional[Tuple[int, int]] = None
+    for config in configs:
+        try:
+            result = plan_coarsening(wrapper, **config)
+        except CoarsenError as error:
+            planned.rejected.append("%r: %s" % (config, error))
+            planned.rejected_configs.append((dict(config), str(error)))
+            continue
+        if layout is None:
+            # a legal plan implies exactly one main block loop
+            layout = _shared_alloca_split(
+                block_parallels(wrapper, include_epilogues=False)[0])
+        outside, inside = layout
+        usage = result.total_block * (outside +
+                                      result.total_thread * inside)
+        planned.alternatives.append(
+            AlternativeInfo(len(planned.alternatives), result.describe(),
+                            dict(config), result, shared_bytes=usage))
+    return planned
+
+
 def generate_coarsening_alternatives(
         wrapper: Operation,
         configs: Sequence[Dict[str, object]]) -> AlternativesReport:
@@ -49,35 +163,13 @@ def generate_coarsening_alternatives(
     ``{"block_total": 4, "thread_total": 2}``). Configs whose coarsening is
     illegal are recorded in ``rejected`` and skipped.
     """
-    if wrapper.name != polygeist.GPU_WRAPPER:
-        raise ValueError("expected a polygeist.gpu_wrapper")
-    report = AlternativesReport(op=None)
-    regions: List[Region] = []
-    descs: List[str] = []
-    for config in configs:
-        clone = wrapper.clone({})
-        try:
-            result = coarsen_wrapper(clone, **config)
-        except CoarsenError as error:
-            report.rejected.append("%r: %s" % (config, error))
-            report.rejected_configs.append((dict(config), str(error)))
-            continue
-        desc = result.describe()
-        region = clone.region(0)
-        regions.append(region)
-        report.alternatives.append(
-            AlternativeInfo(len(regions) - 1, desc, dict(config), result))
-        descs.append(desc)
-    if not regions:
+    planned = plan_coarsening_alternatives(wrapper, configs)
+    report = AlternativesReport(op=None, rejected=planned.rejected,
+                                rejected_configs=planned.rejected_configs)
+    if not planned.alternatives:
         return report
-    alt = Operation(polygeist.ALTERNATIVES, [], [],
-                    {polygeist.DESCS_ATTR: descs}, regions)
-    body = wrapper.body_block()
-    # erase the original nest (in reverse, so defs outlive their uses)
-    for op in reversed(list(body.ops)):
-        op.erase()
-    body.append(alt)
-    report.op = alt
+    report.op = planned.materialize(range(len(planned.alternatives)))
+    report.alternatives = planned.alternatives
     return report
 
 

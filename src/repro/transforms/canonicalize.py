@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from ..dialects import arith
 from ..ir import (Builder, FloatType, IndexType, IntegerType, Module,
-                  Operation, Pass, Value)
+                  Operation, OpResult, Pass, Value)
 
 _INT_FOLDS = {
     "arith.addi": lambda a, b: a + b,
@@ -27,9 +27,22 @@ _CMP = {
     "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
 }
 
+#: every op name :meth:`Canonicalize._simplify_op` can act on — anything
+#: else exits before the dispatch cascade
+_CANON_NAMES = frozenset(_INT_FOLDS) | {
+    "arith.divsi", "arith.remsi", "arith.cmpi", "arith.select",
+    "arith.index_cast", "scf.if",
+}
+
 
 def _const(value: Value) -> Optional[object]:
     return arith.constant_value(value)
+
+
+def _as_op(value, name):
+    if value.__class__ is OpResult and value.owner.name == name:
+        return value.owner
+    return None
 
 
 def _match_divmod_recompose(add_op: Operation) -> Optional[Value]:
@@ -39,26 +52,20 @@ def _match_divmod_recompose(add_op: Operation) -> Optional[Value]:
     linearization idiom (``row = i / n; col = i % n; a[row * n + col]``)
     whose recomposition the coalescing analysis needs to see through.
     """
-    from ..ir import OpResult
-
-    def as_op(value, name):
-        if isinstance(value, OpResult) and value.owner.name == name:
-            return value.owner
-        return None
-
-    for mul_side, rem_side in ((add_op.operand(0), add_op.operand(1)),
-                               (add_op.operand(1), add_op.operand(0))):
+    as_op = _as_op
+    lhs, rhs = add_op._operands
+    for mul_side, rem_side in ((lhs, rhs), (rhs, lhs)):
         rem = as_op(rem_side, "arith.remsi")
         mul = as_op(mul_side, "arith.muli")
         if rem is None or mul is None:
             continue
-        x, y = rem.operand(0), rem.operand(1)
-        for div_side, factor in ((mul.operand(0), mul.operand(1)),
-                                 (mul.operand(1), mul.operand(0))):
+        x, y = rem._operands
+        mul_lhs, mul_rhs = mul._operands
+        for div_side, factor in ((mul_lhs, mul_rhs), (mul_rhs, mul_lhs)):
             div = as_op(div_side, "arith.divsi")
             if div is None or factor is not y:
                 continue
-            if div.operand(0) is x and div.operand(1) is y:
+            if div._operands[0] is x and div._operands[1] is y:
                 return x
     return None
 
@@ -73,10 +80,35 @@ class Canonicalize(Pass):
         # iterate to propagate folds
         for _ in range(8):
             before = self.changed
-            module.op.walk(self._simplify_op)
+            for op in self._candidates(module.op):
+                self._simplify_op(op)
             if self.changed == before:
                 break
         return self.changed
+
+    @staticmethod
+    def _candidates(root: Operation) -> List[Operation]:
+        """Canonicalizable ops, in exactly ``walk()``'s post-order.
+
+        Snapshotting candidates before rewriting visits the same ops in
+        the same order as walking with ``_simplify_op`` as the callback:
+        the rewrites only erase the visited op (and its already-visited
+        subtree), and ops they create or move land in block positions a
+        walk's per-block snapshot would not revisit mid-sweep either.
+        Collecting first skips the per-op Python call for the ~90% of ops
+        no canonicalization pattern matches.
+        """
+        post: List[Operation] = []
+        stack = [root]
+        while stack:
+            op = stack.pop()
+            post.append(op)
+            for region in op.regions:
+                for block in region.blocks:
+                    stack.extend(block.ops)
+        names = _CANON_NAMES
+        # reversed preorder-with-reversed-children == post-order
+        return [op for op in reversed(post) if op.name in names]
 
     def _replace_with_constant(self, op: Operation, value) -> None:
         builder = Builder(op.parent, op.parent.index_of(op))
@@ -91,11 +123,12 @@ class Canonicalize(Pass):
         self.changed = True
 
     def _simplify_op(self, op: Operation) -> None:
-        if op.parent is None:
-            return
         name = op.name
+        if name not in _CANON_NAMES or op.parent is None:
+            return
         if name in _INT_FOLDS:
-            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            operands = op._operands
+            lhs, rhs = _const(operands[0]), _const(operands[1])
             if lhs is not None and rhs is not None:
                 self._replace_with_constant(op, _INT_FOLDS[name](lhs, rhs))
                 return
@@ -107,7 +140,7 @@ class Canonicalize(Pass):
             self._int_identities(op, lhs, rhs)
             return
         if name in ("arith.divsi", "arith.remsi"):
-            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            lhs, rhs = _const(op._operands[0]), _const(op._operands[1])
             if lhs is not None and rhs not in (None, 0):
                 q = abs(lhs) // abs(rhs)
                 if (lhs >= 0) != (rhs >= 0):
@@ -116,26 +149,27 @@ class Canonicalize(Pass):
                 self._replace_with_constant(op, value)
             elif rhs == 1:
                 if name == "arith.divsi":
-                    self._replace_with_value(op, op.operand(0))
+                    self._replace_with_value(op, op._operands[0])
                 else:
                     self._replace_with_constant(op, 0)
             return
         if name == "arith.cmpi":
-            lhs, rhs = _const(op.operand(0)), _const(op.operand(1))
+            lhs, rhs = _const(op._operands[0]), _const(op._operands[1])
             if lhs is not None and rhs is not None:
                 predicate = op.attr("predicate")
                 self._replace_with_constant(op, _CMP[predicate](lhs, rhs))
             return
         if name == "arith.select":
-            cond = _const(op.operand(0))
+            operands = op._operands
+            cond = _const(operands[0])
             if cond is not None:
                 self._replace_with_value(
-                    op, op.operand(1) if cond else op.operand(2))
-            elif op.operand(1) is op.operand(2):
-                self._replace_with_value(op, op.operand(1))
+                    op, operands[1] if cond else operands[2])
+            elif operands[1] is operands[2]:
+                self._replace_with_value(op, operands[1])
             return
         if name == "arith.index_cast":
-            source = op.operand(0)
+            source = op._operands[0]
             if source.type == op.result().type:
                 self._replace_with_value(op, source)
             else:
@@ -145,7 +179,7 @@ class Canonicalize(Pass):
                     self._replace_with_constant(op, folded)
             return
         if name == "scf.if":
-            cond = _const(op.operand(0))
+            cond = _const(op._operands[0])
             if cond is not None:
                 self._inline_if_branch(op, bool(cond))
             return
@@ -154,17 +188,17 @@ class Canonicalize(Pass):
         name = op.name
         if name == "arith.addi":
             if rhs == 0:
-                self._replace_with_value(op, op.operand(0))
+                self._replace_with_value(op, op._operands[0])
             elif lhs == 0:
-                self._replace_with_value(op, op.operand(1))
+                self._replace_with_value(op, op._operands[1])
         elif name == "arith.subi":
             if rhs == 0:
-                self._replace_with_value(op, op.operand(0))
+                self._replace_with_value(op, op._operands[0])
         elif name == "arith.muli":
             if rhs == 1:
-                self._replace_with_value(op, op.operand(0))
+                self._replace_with_value(op, op._operands[0])
             elif lhs == 1:
-                self._replace_with_value(op, op.operand(1))
+                self._replace_with_value(op, op._operands[1])
             elif rhs == 0 or lhs == 0:
                 self._replace_with_constant(op, 0)
 

@@ -21,7 +21,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..dialects import arith, polygeist, scf
 from ..ir import Operation
-from .unroll_interleave import IllegalUnroll, unroll_and_interleave
+from .unroll_interleave import (IllegalUnroll, check_unroll_legality,
+                                unroll_and_interleave)
 
 
 class CoarsenError(ValueError):
@@ -242,6 +243,133 @@ def coarsen_wrapper(wrapper: Operation,
     if thread_factors and _product(thread_factors) > 1:
         thread_result = thread_coarsen(wrapper, thread_factors)
         result.thread_factors = thread_result.thread_factors
+    else:
+        result.thread_factors = tuple(thread_factors or ())
+    return result
+
+
+# -- planning (lazy alternative materialization) ------------------------------
+
+
+def _plan_unrolls(parallel_op: Operation, factors: Sequence[int],
+                  style: str) -> int:
+    """Mirror the per-dimension :func:`unroll_and_interleave` decision
+    sequence of one coarsening level without building any IR.
+
+    Reads only the *original* loop: the per-dimension bound checks consume
+    value objects the eager transform carries over unchanged (each
+    dimension is unrolled at most once, and an unroll only replaces the
+    upper bound of its own dimension), and barrier-placement legality is
+    invariant under the preceding uniform unrolls — so one check on the
+    original loop decides every dimension. Raises exactly the errors the
+    eager path raises, in the same order, and returns the number of
+    epilogue loops the eager path would emit.
+    """
+    level = "block" if style == "block" else "thread"
+    num_dims = scf.parallel_num_dims(parallel_op)
+    lbs = scf.parallel_lower_bounds(parallel_op)
+    ubs = scf.parallel_upper_bounds(parallel_op)
+    steps = scf.parallel_steps(parallel_op)
+    legality_checked = False
+    epilogues = 0
+    for dim, factor in enumerate(factors):
+        if factor == 1:
+            continue
+        if dim >= num_dims:
+            raise CoarsenError("%s dimension %d out of range" % (level, dim))
+        if factor < 1:
+            # unroll_and_interleave raises a plain ValueError here, which
+            # the eager path lets propagate uncaught — mirror that
+            raise ValueError("factor must be >= 1")
+        if not legality_checked:
+            reason = check_unroll_legality(
+                parallel_op, trust_convergence=style.startswith("thread"))
+            if reason is not None:
+                raise CoarsenError("%s coarsening failed: %s"
+                                   % (level, reason))
+            legality_checked = True
+        if arith.constant_value(lbs[dim]) != 0 or \
+                arith.constant_value(steps[dim]) != 1:
+            raise CoarsenError(
+                "%s coarsening failed: only lb=0, step=1 parallel loops "
+                "are supported" % level)
+        ub_const = arith.constant_value(ubs[dim])
+        if style == "thread":
+            if ub_const is None:
+                raise CoarsenError("thread coarsening failed: thread "
+                                   "coarsening needs a constant extent")
+            if ub_const % factor != 0:
+                raise CoarsenError(
+                    "thread coarsening failed: thread factor %d does not "
+                    "divide extent %d" % (factor, ub_const))
+        else:
+            if ub_const is not None:
+                if ub_const // factor == 0:
+                    raise CoarsenError(
+                        "block coarsening failed: block factor %d exceeds "
+                        "grid extent %d" % (factor, ub_const))
+                if ub_const % factor != 0:
+                    epilogues += 1
+            else:
+                epilogues += 1
+    return epilogues
+
+
+def plan_coarsening(wrapper: Operation,
+                    block_factors: Optional[Sequence[int]] = None,
+                    thread_factors: Optional[Sequence[int]] = None,
+                    block_total: Optional[int] = None,
+                    thread_total: Optional[int] = None) -> CoarsenResult:
+    """What :func:`coarsen_wrapper` *would* do, decided without a clone.
+
+    Returns the same :class:`CoarsenResult` (factors, epilogue count,
+    balancing notes) a real ``coarsen_wrapper(wrapper.clone({}), ...)``
+    would return, and raises the same errors with the same messages, but
+    mutates nothing. This is what lets alternative generation
+    legality-check every candidate config before materializing a single
+    clone (§VI: filter configs, then compile survivors).
+    """
+    if wrapper.name != polygeist.GPU_WRAPPER:
+        raise CoarsenError("coarsen_wrapper expects a polygeist.gpu_wrapper")
+    mains = block_parallels(wrapper, include_epilogues=False)
+    if len(mains) != 1:
+        raise CoarsenError("wrapper must hold exactly one block loop")
+    main = mains[0]
+    result = CoarsenResult()
+
+    if block_total is not None:
+        if block_factors is not None:
+            raise CoarsenError("give block_factors or block_total, not both")
+        extents = parallel_extents(main)
+        block_factors = balance_factors(block_total, extents)
+        if _product(block_factors) != block_total:
+            result.notes.append(
+                "block total %d reduced to %d by dimension limits" %
+                (block_total, _product(block_factors)))
+    if thread_total is not None:
+        if thread_factors is not None:
+            raise CoarsenError(
+                "give thread_factors or thread_total, not both")
+        extents = parallel_extents(thread_parallel(main))
+        thread_factors = balance_factors(thread_total, extents,
+                                         require_divisors=True)
+        if _product(thread_factors) != thread_total:
+            result.notes.append(
+                "thread total %d reduced to %d by divisibility" %
+                (thread_total, _product(thread_factors)))
+
+    if block_factors and _product(block_factors) > 1:
+        result.epilogues = _plan_unrolls(main, block_factors, "block")
+        result.block_factors = tuple(block_factors)
+    else:
+        result.block_factors = tuple(block_factors or ())
+    if thread_factors and _product(thread_factors) > 1:
+        # the eager path coarsens threads inside the (by now
+        # block-coarsened) main loop and its epilogues; the jammed main
+        # thread loop keeps copy-0 bounds and the epilogues are clones,
+        # so checking the original thread loop decides all of them
+        _plan_unrolls(thread_parallel(main), thread_factors, "thread")
+        result.thread_factors = tuple(thread_factors)
     else:
         result.thread_factors = tuple(thread_factors or ())
     return result

@@ -6,14 +6,29 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dialects import effects
 from ..ir import Block, Module, Operation, Pass
+from ..ir.types import Type
+
+#: memoized ``str(type)`` per distinct type object — types are immutable
+#: value objects, so the cache never goes stale and stays small
+_TYPE_STRS: Dict[Type, str] = {}
+
+
+def _type_str(type_: Type) -> str:
+    text = _TYPE_STRS.get(type_)
+    if text is None:
+        text = str(type_)
+        _TYPE_STRS[type_] = text
+    return text
 
 
 def _key(op: Operation) -> Optional[Tuple]:
     if op.regions or not effects.is_pure(op):
         return None
-    attrs = tuple(sorted((k, _hashable(v)) for k, v in op.attributes.items()))
-    return (op.name, tuple(id(v) for v in op.operands), attrs,
-            tuple(str(r.type) for r in op.results))
+    attributes = op.attributes
+    attrs = tuple(sorted((k, _hashable(v)) for k, v in attributes.items())) \
+        if attributes else ()
+    return (op.name, tuple(map(id, op._operands)), attrs,
+            tuple(_type_str(r.type) for r in op.results))
 
 
 def _hashable(value):
@@ -44,8 +59,36 @@ class CSE(Pass):
 
     def run(self, module: Module) -> bool:
         self.changed = False
-        self._run_block(module.body, _Scope())
+        self._run_block(module.body, self._root_scope(module))
         return self.changed
+
+    @staticmethod
+    def _root_scope(module: Module) -> _Scope:
+        """The starting scope chain for ``module``.
+
+        A plain :class:`~repro.ir.Module` starts empty. A region-scoped
+        facade (:class:`~repro.ir.scoped.RegionModule`) exposes
+        ``enclosing_scope_blocks``; the chain is then seeded, outermost
+        first, with the pure ops preceding the nesting path in each
+        enclosing block — exactly the visibility a whole-module run would
+        have established by the time it descends into the region. The
+        seeds are read-only: the enclosing IR is already at fixpoint, so a
+        whole-module run would not have mutated it either.
+        """
+        scope = _Scope()
+        enclosing = getattr(module, "enclosing_scope_blocks", None)
+        if enclosing is None:
+            return scope
+        for block, stop in enclosing():
+            scope = _Scope(scope)
+            table = scope.table
+            for op in block.ops:
+                if op is stop:
+                    break
+                key = _key(op)
+                if key is not None and key not in table:
+                    table[key] = op
+        return _Scope(scope)
 
     def _run_block(self, block: Block, scope: _Scope) -> None:
         for op in list(block.ops):

@@ -6,20 +6,29 @@ from ..dialects import effects
 from ..ir import Block, Module, Operation, Pass
 
 
+#: per-name deadness verdict for region-free ops (their terminator and
+#: side-effect classification depends only on the name)
+_DEAD_BY_NAME: dict = {}
+
+
 def _is_dead(op: Operation) -> bool:
-    if any(result.has_uses() for result in op.results):
-        return False
-    if effects.is_terminator(op):
-        return False
-    if effects.has_side_effects(op):
-        return False
-    # pure ops, unused loads, and unused allocations are all removable —
-    # but an allocation is only dead if nothing accesses it
-    if effects.is_allocation(op):
-        return True
+    for result in op.results:
+        if result.uses:
+            return False
+    # ops with regions are never removed: if anything nested has side
+    # effects they are unsound to drop, and otherwise the region guard
+    # below rejects them anyway — so only name-level checks remain, and
+    # those memoize
     if op.regions:
         return False
-    return True
+    name = op.name
+    verdict = _DEAD_BY_NAME.get(name)
+    if verdict is None:
+        # pure ops, unused loads, and unused allocations are removable
+        verdict = not effects.is_terminator(op) and \
+            not effects.has_side_effects(op)
+        _DEAD_BY_NAME[name] = verdict
+    return verdict
 
 
 class DCE(Pass):
@@ -34,7 +43,11 @@ class DCE(Pass):
 
     def _sweep(self, block: Block) -> bool:
         removed = False
-        for op in list(block.ops):
+        # bottom-up: users die before their operands' defining ops are
+        # inspected, so a whole dead chain disappears in one sweep instead
+        # of one op per sweep (the fixpoint reached is the same — DCE only
+        # ever shrinks the same dead set)
+        for op in reversed(list(block.ops)):
             for region in op.regions:
                 for nested in region.blocks:
                     if self._sweep(nested):

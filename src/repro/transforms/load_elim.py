@@ -81,15 +81,23 @@ class RedundantLoadElimination(Pass):
         for key in [k for k in available if k[0] == id(base)]:
             del available[key]
 
-    @staticmethod
-    def _has_side_effects_inside(op: Operation) -> bool:
-        found = []
+    _EFFECTFUL = frozenset(("memref.store", "memref.atomic_rmw",
+                            "polygeist.barrier", "func.call",
+                            "gpu.launch_func"))
 
-        def check(child: Operation) -> None:
-            if child.name in ("memref.store", "memref.atomic_rmw",
-                              "polygeist.barrier", "func.call",
-                              "gpu.launch_func"):
-                found.append(child)
-
-        op.walk_preorder(check, include_self=False)
-        return bool(found)
+    @classmethod
+    def _has_side_effects_inside(cls, op: Operation) -> bool:
+        # explicit stack so the walk stops at the first hit instead of
+        # visiting the whole subtree
+        effectful = cls._EFFECTFUL
+        stack = [op]
+        while stack:
+            current = stack.pop()
+            for region in current.regions:
+                for block in region.blocks:
+                    for child in block.ops:
+                        if child.name in effectful:
+                            return True
+                        if child.regions:
+                            stack.append(child)
+        return False

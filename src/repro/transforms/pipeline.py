@@ -37,3 +37,23 @@ def run_cleanup(module: Module, parallel_optimizations: bool = True,
     with obs_tracer.span("cleanup", category="transforms",
                          parallel=parallel_optimizations):
         pipeline.run_until_fixpoint(module, max_iterations)
+
+
+def cleanup_regions(regions, parallel_optimizations: bool = True,
+                    max_iterations: int = 8) -> None:
+    """Run the cleanup pipeline to fixpoint over just ``regions``.
+
+    Each region is wrapped in a :class:`~repro.ir.scoped.RegionModule`
+    facade and driven to its own fixpoint; the enclosing module is never
+    walked. With the enclosing IR already at the pipeline's fixpoint (the
+    autotuning flow pre-cleans the whole module before generating
+    alternatives), the result is identical to a whole-module
+    :func:`run_cleanup` — proven by the benchsuite-wide equivalence test.
+    """
+    from ..ir.scoped import RegionModule
+    pipeline = default_cleanup_pipeline(parallel_optimizations)
+    with obs_tracer.span("cleanup", category="transforms",
+                         parallel=parallel_optimizations,
+                         regions=len(regions)):
+        pipeline.run_modules_until_fixpoint(
+            [RegionModule(region) for region in regions], max_iterations)

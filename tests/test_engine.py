@@ -423,7 +423,18 @@ class TestSelectorAndSpeedupGuards:
         ])
         assert outcome.speedup_over("base") == float("inf")
         assert outcome.speedup_over("fast") == 1.0
-        assert outcome.speedup_over("missing") == 1.0
+
+    def test_speedup_over_missing_baseline_raises(self):
+        outcome = TuneOutcome("fast", 0.5, [
+            Candidate(0, "base", 1.0, True),
+            Candidate(1, "fast", 0.5, True),
+            Candidate(2, "broken", float("inf"), False, "invalid launch"),
+        ])
+        # a missing or invalid baseline is a broken comparison, not 1.0x
+        with pytest.raises(KeyError):
+            outcome.speedup_over("missing")
+        with pytest.raises(KeyError):
+            outcome.speedup_over("broken")
 
     def test_speedup_over_normal_case(self):
         outcome = TuneOutcome("fast", 0.5, [

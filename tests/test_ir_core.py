@@ -322,3 +322,33 @@ class TestModule:
         clone = module.clone()
         clone.func("f").attributes["sym_name"] = "renamed"
         assert module.func("f").attr("sym_name") == "f"
+
+
+class TestBlockOwnership:
+    def test_append_rejects_op_owned_by_another_block(self):
+        _, f_a, builder_a = make_func("a")
+        _, f_b, _ = make_func("b")
+        op = arith.index_constant(builder_a, 1).owner
+        with pytest.raises(ValueError, match="another block"):
+            f_b.body_block().append(op)
+        # the op must not have been stolen from its original block
+        assert op.parent is f_a.body_block()
+        assert op in f_a.body_block().ops
+        assert op not in f_b.body_block().ops
+
+    def test_insert_rejects_op_owned_by_another_block(self):
+        _, f_a, builder_a = make_func("a")
+        _, f_b, _ = make_func("b")
+        op = arith.index_constant(builder_a, 1).owner
+        with pytest.raises(ValueError, match="another block"):
+            f_b.body_block().insert(0, op)
+        assert op.parent is f_a.body_block()
+
+    def test_detach_then_append_moves_the_op(self):
+        _, f_a, builder_a = make_func("a")
+        _, f_b, _ = make_func("b")
+        op = arith.index_constant(builder_a, 1).owner
+        op.detach()
+        f_b.body_block().append(op)
+        assert op.parent is f_b.body_block()
+        assert op not in f_a.body_block().ops

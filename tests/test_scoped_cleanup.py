@@ -1,0 +1,163 @@
+"""Scoped cleanup and lazy materialization equivalence.
+
+The autotuning flow cleans only the ``polygeist.alternatives`` regions
+(:func:`repro.transforms.cleanup_regions`) instead of re-walking the whole
+module, and materializes IR clones only for the configurations that
+survive the metadata-level shared-memory filter. Both are pure
+performance moves: this file proves, benchsuite-wide, that they change
+nothing observable — the printed IR after scoped cleanup equals the
+whole-module result, the TDO selection is identical, and the number of
+wrapper clones built equals the post-filter survivor count.
+"""
+
+import pytest
+
+from repro.autotune import paper_sweep_configs
+from repro.autotune.tdo import timing_driven_optimization, tune_wrapper
+from repro.benchsuite.base import BENCHMARKS, get_benchmark
+from repro.dialects import polygeist
+from repro.frontend import ModuleGenerator, parse_translation_unit
+from repro.ir import print_module
+from repro.targets import arch_by_name
+from repro.transforms import cleanup_regions, run_cleanup
+from repro.transforms.alternatives import (generate_coarsening_alternatives,
+                                           plan_coarsening_alternatives)
+
+A100 = arch_by_name("a100")
+
+
+def _launch_groups(bench):
+    """(kernel, block) -> grids, at the cheap verification size."""
+    groups = {}
+    for kernel, grid, block in bench.iter_launches(bench.verify_size):
+        groups.setdefault((kernel, tuple(block)), []).append(tuple(grid))
+    return groups
+
+
+def _generate(bench, kernel, block, grid_rank, configs):
+    """Parse, pre-clean, and eagerly generate every legal alternative."""
+    generator = ModuleGenerator(parse_translation_unit(bench.source))
+    name = generator.get_launch_wrapper(kernel, grid_rank, block)
+    run_cleanup(generator.module)
+    func_op = generator.module.func(name)
+    wrapper = polygeist.find_gpu_wrappers(func_op)[0]
+    report = generate_coarsening_alternatives(wrapper, configs)
+    return generator.module, func_op, report
+
+
+def _candidate_rows(outcome):
+    return [(c.desc, c.time_seconds, c.valid, c.reason)
+            for c in outcome.candidates]
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_scoped_cleanup_matches_whole_module(name):
+    """For every kernel of every benchmark: cleaning just the alternatives
+    regions produces byte-identical module IR to re-cleaning the whole
+    module, and TDO picks the same winner with the same modeled times."""
+    bench = get_benchmark(name)
+    configs = paper_sweep_configs()
+    compared = 0
+    for (kernel, block), grids in _launch_groups(bench).items():
+        grid_rank = len(grids[0])
+        scoped_mod, scoped_func, scoped = _generate(
+            bench, kernel, block, grid_rank, configs)
+        full_mod, full_func, full = _generate(
+            bench, kernel, block, grid_rank, configs)
+        if scoped.op is None:
+            assert full.op is None
+            continue
+        cleanup_regions(list(scoped.op.regions))
+        run_cleanup(full_mod)
+        assert print_module(scoped_mod) == print_module(full_mod)
+
+        def envs_for(func_op):
+            grid_args = func_op.body_block().args[:grid_rank]
+            return [dict(zip(grid_args, grid)) for grid in grids]
+
+        chose_scoped = timing_driven_optimization(
+            scoped.op, A100, envs_for(scoped_func), select=False)
+        chose_full = timing_driven_optimization(
+            full.op, A100, envs_for(full_func), select=False)
+        assert chose_scoped.selected_desc == chose_full.selected_desc
+        assert chose_scoped.selected_time == chose_full.selected_time
+        assert _candidate_rows(chose_scoped) == _candidate_rows(chose_full)
+        compared += 1
+    assert compared > 0, "no kernel of %s produced alternatives" % name
+
+
+BIG_SHARED_KERNEL = """
+__global__ void k(float *in, float *out, int n) {
+    __shared__ float tile[4096];
+    int t = threadIdx.x;
+    int g = blockIdx.x * blockDim.x + t;
+    tile[t] = in[g] * 2.0f;
+    __syncthreads();
+    out[g] = tile[(t + 1) % 8] + 1.5f;
+}
+"""
+
+
+def _build_wrapper(source, kernel="k", block=(8,)):
+    generator = ModuleGenerator(parse_translation_unit(source))
+    name = generator.get_launch_wrapper(kernel, 1, block)
+    run_cleanup(generator.module)
+    func_op = generator.module.func(name)
+    return func_op, polygeist.find_gpu_wrappers(func_op)[0]
+
+
+def _capturing_plan(monkeypatch):
+    import repro.transforms.alternatives as alternatives_mod
+    captured = []
+
+    def capture(wrapper, configs):
+        planned = plan_coarsening_alternatives(wrapper, configs)
+        captured.append(planned)
+        return planned
+
+    monkeypatch.setattr(alternatives_mod, "plan_coarsening_alternatives",
+                        capture)
+    return captured
+
+
+def test_clones_built_only_for_filter_survivors(monkeypatch):
+    """The 16 KiB tile makes block coarsening overshoot the shared-memory
+    limit: those plans must never be cloned at all."""
+    captured = _capturing_plan(monkeypatch)
+    func_op, wrapper = _build_wrapper(BIG_SHARED_KERNEL)
+    env = {func_op.body_block().args[0]: 4}
+    configs = [{"thread_total": 1}, {"thread_total": 2},
+               {"block_total": 2}, {"block_total": 4}]
+    outcome = tune_wrapper(wrapper, A100, env, configs)
+    planned = captured[0]
+    total = len(planned.alternatives)
+    dropped = len(outcome.filters.dropped_shared)
+    assert dropped > 0, "expected the shared-memory filter to drop plans"
+    assert planned.clones_materialized == total - dropped < total
+    # the winner is still one of the shared-memory survivors
+    assert outcome.selected_desc in outcome.filters.survivor_descs
+
+
+def test_clones_built_for_all_when_nothing_filtered(monkeypatch):
+    """With no shared-memory pressure every plan is materialized — the
+    lazy path degenerates to the eager one."""
+    captured = _capturing_plan(monkeypatch)
+    source = BIG_SHARED_KERNEL.replace("tile[4096]", "tile[8]")
+    func_op, wrapper = _build_wrapper(source)
+    env = {func_op.body_block().args[0]: 4}
+    configs = [{"thread_total": 1}, {"thread_total": 2},
+               {"block_total": 2}]
+    outcome = tune_wrapper(wrapper, A100, env, configs)
+    planned = captured[0]
+    assert not outcome.filters.dropped_shared
+    assert planned.clones_materialized == len(planned.alternatives)
+
+
+def test_materialize_is_one_shot():
+    func_op, wrapper = _build_wrapper(
+        BIG_SHARED_KERNEL.replace("tile[4096]", "tile[8]"))
+    planned = plan_coarsening_alternatives(
+        wrapper, [{"thread_total": 1}, {"thread_total": 2}])
+    planned.materialize(range(len(planned.alternatives)))
+    with pytest.raises(ValueError, match="already materialized"):
+        planned.materialize([0])

@@ -870,3 +870,35 @@ class TestServeProcess:
                 if process is not None and process.poll() is None:
                     process.kill()
                     process.communicate(timeout=30)
+
+
+class TestMonotonicDurations:
+    """Job durations must come from monotonic anchors: a wall-clock step
+    (NTP, DST) between lifecycle events must never corrupt them."""
+
+    def _step_wall_clock_back(self, monkeypatch, seconds=3600.0):
+        import repro.serve.jobs as jobs_mod
+        real = time.time
+        monkeypatch.setattr(jobs_mod.time, "time",
+                            lambda: real() - seconds)
+
+    def test_queued_waiting_seconds_survive_wall_step(self, monkeypatch):
+        record = _record()
+        self._step_wall_clock_back(monkeypatch)
+        status = record.status_dict()
+        assert 0.0 <= status["waiting_seconds"] < 60.0
+
+    def test_running_and_wall_seconds_survive_wall_step(self, monkeypatch):
+        from types import SimpleNamespace
+        record = _record()
+        record.mark_running()
+        self._step_wall_clock_back(monkeypatch)
+        status = record.status_dict()
+        assert 0.0 <= status["running_seconds"] < 60.0
+        record.finish(SimpleNamespace(ok=False, attempts=1, timeouts=0,
+                                      error="boom", value=None))
+        status = record.status_dict()
+        assert 0.0 <= status["wall_seconds"] < 60.0
+        # wall-clock fields still reflect the (stepped) wall clock: they
+        # are display-only and never subtracted from each other
+        assert status["finished_at"] < status["started_at"]

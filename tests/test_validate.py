@@ -283,24 +283,26 @@ class TestValidationGate:
 
         generator, _, func_op, wrapper = build_wrapper(SHARED_KERNEL)
         env = {func_op.body_block().args[0]: 8}
-        real = alternatives_mod.generate_coarsening_alternatives
+        # tune_wrapper materializes clones lazily, so the sabotage hook
+        # wraps PlannedAlternatives.materialize (the point where the
+        # alternatives op first exists)
+        real = alternatives_mod.PlannedAlternatives.materialize
         mutated = []
 
-        def instrumented(target, configs):
-            report = real(target, configs)
+        def instrumented(planned, indices):
+            alt = real(planned, indices)
             if sabotage is not None:
-                index = sabotage(report.op)
-                mutated.append(polygeist.alternative_descs(
-                    report.op)[index])
-            return report
+                index = sabotage(alt)
+                mutated.append(polygeist.alternative_descs(alt)[index])
+            return alt
 
-        alternatives_mod.generate_coarsening_alternatives = instrumented
+        alternatives_mod.PlannedAlternatives.materialize = instrumented
         try:
             with obs_decisions.logging_decisions() as log:
                 outcome = tune_wrapper(wrapper, A100, env, CONFIGS,
                                        engine=engine)
         finally:
-            alternatives_mod.generate_coarsening_alternatives = real
+            alternatives_mod.PlannedAlternatives.materialize = real
         return outcome, log, (mutated[0] if mutated else None)
 
     def test_gate_rejects_miscompiled_alternative(self):
